@@ -1,0 +1,53 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_PROCS`` scales the simulated machine (default 64, the
+paper's size); ``REPRO_BENCH_SMALL=1`` switches to the small presets for
+quick smoke runs of the harness.
+
+Simulation results are cached inside :mod:`repro.harness.experiments`,
+so artifacts that share underlying runs (Figure 4 and Figure 5, say)
+trigger each simulation once per pytest session.
+"""
+
+import os
+
+import pytest
+
+N_PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "64"))
+SMALL = os.environ.get("REPRO_BENCH_SMALL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_procs():
+    return N_PROCS
+
+
+@pytest.fixture(scope="session")
+def bench_small():
+    return SMALL
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+#: Reproduced tables/figures, emitted after the run (pytest captures
+#: per-test stdout of passing tests; the summary hook below does not).
+ARTIFACTS = []
+
+
+def record(text: str) -> None:
+    ARTIFACTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not ARTIFACTS:
+        return
+    terminalreporter.write_sep(
+        "=", f"reproduced paper artifacts ({N_PROCS} processors"
+        + (", small presets)" if SMALL else ")")
+    )
+    for text in ARTIFACTS:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

@@ -1,0 +1,32 @@
+"""Figure 4: normalized execution time, lazy vs eager RC.
+
+Paper shape: both relaxed protocols beat sequential consistency; the
+lazy protocol's advantage over eager is largest for mp3d (17%) and
+locusroute (13%); fft and cholesky are close to parity.
+"""
+
+from benchmarks.conftest import N_PROCS, SMALL, once, record
+from repro.harness import figure4_normalized_time
+
+
+def test_f4_lazy_vs_eager(benchmark):
+    data, text = once(
+        benchmark, lambda: figure4_normalized_time(n_procs=N_PROCS, small=SMALL)
+    )
+    print("\n" + text)
+    record(text)
+    if SMALL or N_PROCS < 32:
+        return  # shape assertions are calibrated at experiment scale
+    # Eager RC never loses to SC; lazy RC stays within a modest band
+    # (measured: barnes/fft are the worst cases at ~1.10 of SC — see
+    # EXPERIMENTS.md for the paper-vs-measured discussion).
+    for app, row in data.items():
+        assert row["erc"] < 1.02, (app, row)
+        assert row["lrc"] < 1.15, (app, row)
+    # The paper's headline winner mp3d favors laziness outright, and
+    # locusroute's lazy variant beats its own SC baseline.
+    assert data["mp3d"]["lrc"] < data["mp3d"]["erc"]
+    assert data["locusroute"]["lrc"] < 1.0
+    # Nothing degrades catastrophically under the lazy protocol.
+    for app, row in data.items():
+        assert row["lrc"] <= row["erc"] * 1.25, (app, row)

@@ -1,0 +1,31 @@
+"""Figure 9: overhead breakdown on the future machine.
+
+Paper shape: "the lazy protocols trade increased synchronization time
+for decreased read latency and write buffer stall time."
+"""
+
+from benchmarks.conftest import N_PROCS, SMALL, once, record
+from repro.harness import figure9_future_breakdown
+
+
+def test_f9_future_breakdown(benchmark):
+    data, text = once(
+        benchmark, lambda: figure9_future_breakdown(n_procs=N_PROCS, small=SMALL)
+    )
+    print("\n" + text)
+    record(text)
+    if SMALL or N_PROCS < 32:
+        return  # shape assertions are calibrated at experiment scale
+    for app, rows in data.items():
+        # Lazy write-buffer stalls stay near zero even with 256-byte lines.
+        assert rows["lrc"]["write"] < 0.03, app
+        assert rows["lrc"]["write"] <= rows["erc"]["write"] + 1e-9, app
+        # SC normalizes to 1.0.
+        assert abs(sum(rows["sc"].values()) - 1.0) < 1e-9
+    # The sync-for-read-latency trade shows up in most applications.
+    trades = sum(
+        1
+        for rows in data.values()
+        if rows["lrc"]["sync"] >= rows["erc"]["sync"] * 0.95
+    )
+    assert trades >= 4

@@ -1,0 +1,26 @@
+"""Section 4.2: mp3d quality-of-solution under stale (lazy) reads.
+
+Paper: after 10 steps, the Y and Z components of the cumulative velocity
+vector differed by less than 0.1% between the software-cached (lazy) and
+sequentially consistent versions, while the X component (the wind
+direction, where the races matter) differed by 6.7%.
+"""
+
+from benchmarks.conftest import once, record
+from repro.apps.mp3d_quality import quality_divergence
+
+
+def test_s42_mp3d_quality(benchmark):
+    div = once(benchmark, lambda: quality_divergence(steps=10))
+    text = (
+        "Section 4.2 mp3d quality of solution (lazy vs SC propagation)\n"
+        + "\n".join(f"  {axis}: {v * 100:.3f}% divergence" for axis, v in div.items())
+    )
+    print("\n" + text)
+    record(text)
+    # The solution diverges measurably along the wind (X) axis but stays
+    # tiny on the transverse axes — the paper's result (X: 6.7%, Y/Z
+    # under 0.1%).  Measured here: X ~14%, Y/Z well under 0.1%.
+    assert 0.01 < div["X"] < 0.30
+    assert div["Y"] < 0.005 and div["Z"] < 0.005
+    assert div["X"] > 10 * max(div["Y"], div["Z"]), "X (wind) axis diverges most"

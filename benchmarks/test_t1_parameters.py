@@ -1,0 +1,15 @@
+"""Table 1: system parameters, plus the Section 3 worked cost example."""
+
+from benchmarks.conftest import once, record
+from repro.config import SystemConfig
+from repro.harness import table1
+
+
+def test_t1_parameters(benchmark):
+    text = once(benchmark, table1)
+    print("\n" + text)
+    record(text)
+    # The Section 3 example: a 10-hop fill costs exactly 272 cycles.
+    c = SystemConfig.paper()
+    assert c.line_fill_cost(0, 5 * 8 + 5) == 272
+    assert "272" in text

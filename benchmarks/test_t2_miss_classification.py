@@ -1,0 +1,37 @@
+"""Table 2: miss classification under eager release consistency.
+
+Shape checks (the paper's Table 2): the false-sharing component is
+substantial for locusroute / blu / mp3d / barnes and near-zero for
+cholesky / fft / gauss; gauss and fft are eviction-dominated.
+"""
+
+from benchmarks.conftest import N_PROCS, SMALL, once, record
+from repro.harness import table2_miss_classification
+
+
+def test_t2_miss_classification(benchmark):
+    data, text = once(
+        benchmark, lambda: table2_miss_classification(n_procs=N_PROCS, small=SMALL)
+    )
+    print("\n" + text)
+    record(text)
+    if SMALL or N_PROCS < 32:
+        return  # shape assertions are calibrated at experiment scale
+    # Apps the paper lists as false-sharing candidates show real false
+    # sharing; the others show almost none.
+    assert data["locusroute"]["false"] > 5.0
+    assert data["blu"]["false"] > 5.0
+    assert data["cholesky"]["false"] < 5.0
+    assert data["fft"]["false"] < 5.0
+    assert data["gauss"]["false"] < 5.0
+    # Gauss and fft carry the large eviction components (paper: 75% and
+    # 54%; smaller here because the scaled fft chunks fit caches better).
+    assert data["gauss"]["eviction"] > 30.0
+    assert data["fft"]["eviction"] > 10.0
+    # Write-permission misses are a visible component everywhere the
+    # paper reports them large (blu, cholesky, fft, locusroute, mp3d).
+    for app in ("blu", "cholesky", "mp3d"):
+        assert data[app]["write"] > 5.0
+    # Percentages add up.
+    for app, p in data.items():
+        assert abs(sum(p.values()) - 100.0) < 1e-6, app

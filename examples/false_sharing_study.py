@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""False-sharing study: why lazy release consistency wins.
+
+Builds a custom workload (not one of the paper's seven) directly against
+the public Machine API: processors repeatedly read and update disjoint
+words that share cache lines — pure false sharing — with progressively
+rarer synchronization.  Under eager RC every write invalidates the other
+sharers immediately; under lazy RC invalidations wait for the next
+acquire, so the advantage should grow as synchronization gets rarer.
+
+    python examples/false_sharing_study.py
+"""
+
+from repro import Machine, SystemConfig
+from repro.program.ops import ACQUIRE, BARRIER, COMPUTE, RELEASE, RW_RUN
+from repro.stats.report import format_table
+
+
+def build_program(seg, pid, n_procs, rounds, work_per_sync):
+    """Each processor owns every n_procs-th word of a shared region."""
+    def prog():
+        for r in range(rounds):
+            for _ in range(work_per_sync):
+                # Touch 64 of my words, interleaved with everyone else's
+                # words in the same lines: classic false sharing.
+                yield (RW_RUN, seg.base + pid * 8, 64, n_procs * 8)
+                yield (COMPUTE, 200)
+            yield (ACQUIRE, pid % 4)
+            yield (COMPUTE, 50)
+            yield (RELEASE, pid % 4)
+        yield (BARRIER, 0)
+    return prog()
+
+
+def run(proto, work_per_sync, n=8):
+    m = Machine(SystemConfig.scaled(n_procs=n, cache_size=8 * 1024), protocol=proto)
+    seg = m.space.alloc(1 << 16, "shared")
+    progs = [build_program(seg, p, n, rounds=10, work_per_sync=work_per_sync) for p in range(n)]
+    return m.run(progs)
+
+
+def main() -> None:
+    rows = []
+    for work in (1, 2, 4, 8):
+        erc = run("erc", work)
+        lrc = run("lrc", work)
+        rows.append(
+            [
+                work,
+                f"{erc.miss_rate * 100:.2f}%",
+                f"{lrc.miss_rate * 100:.2f}%",
+                f"{lrc.exec_time / erc.exec_time:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["sweeps/sync", "eager miss", "lazy miss", "lazy/eager time"],
+            rows,
+            title="False sharing: laziness pays off as sync gets rarer",
+        )
+    )
+    print(
+        "\nEach row quadruples the false-sharing work between lock\n"
+        "operations. Eager RC pays an invalidation storm per sweep;\n"
+        "lazy RC batches all of it into one invalidation per acquire."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate the paper's tables and figures from the command line.
+
+    python examples/paper_figures.py --procs 16 --small       # quick pass
+    python examples/paper_figures.py --procs 64               # full scale
+    python examples/paper_figures.py --only f4 t3 --procs 16 --small
+
+Artifacts: t1 t2 t3 f4 f5 f6 f7 f8 f9 quality sweep
+"""
+
+import argparse
+
+from repro.apps.mp3d_quality import quality_divergence
+from repro.harness import (
+    figure4_normalized_time,
+    figure5_breakdown,
+    figure6_lazier,
+    figure7_lazier_breakdown,
+    figure8_future,
+    figure9_future_breakdown,
+    sensitivity_sweep,
+    table1,
+    table2_miss_classification,
+    table3_miss_rates,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--procs", type=int, default=16)
+    ap.add_argument("--small", action="store_true", help="use the small presets")
+    ap.add_argument("--only", nargs="*", default=None, help="subset of artifacts")
+    args = ap.parse_args()
+    n, small = args.procs, args.small
+
+    artifacts = {
+        "t1": lambda: table1(),
+        "t2": lambda: table2_miss_classification(n, small)[1],
+        "t3": lambda: table3_miss_rates(n, small)[1],
+        "f4": lambda: figure4_normalized_time(n, small)[1],
+        "f5": lambda: figure5_breakdown(n, small)[1],
+        "f6": lambda: figure6_lazier(n, small)[1],
+        "f7": lambda: figure7_lazier_breakdown(n, small)[1],
+        "f8": lambda: figure8_future(n, small)[1],
+        "f9": lambda: figure9_future_breakdown(n, small)[1],
+        "quality": lambda: "Section 4.2 mp3d quality (lazy vs SC):\n"
+        + "\n".join(
+            f"  {k}: {v * 100:.3f}%" for k, v in quality_divergence(steps=10).items()
+        ),
+        "sweep": lambda: sensitivity_sweep(app="mp3d", n_procs=min(n, 16), small=small)[1],
+    }
+    wanted = args.only or list(artifacts)
+    for key in wanted:
+        print(artifacts[key]())
+        print("=" * 72)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The environment has no `wheel` package and no network access, so
+PEP 517/660 editable installs (which need bdist_wheel) cannot run.
+`python setup.py develop` (or `pip install -e . --no-build-isolation`
+on toolchains that have wheel) installs the package from src/.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

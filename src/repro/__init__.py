@@ -1,0 +1,35 @@
+"""repro — Lazy Release Consistency for Hardware-Coherent Multiprocessors.
+
+A full reproduction of Kontothanassis, Scott & Bianchini (Supercomputing
+'95): an execution-driven simulator for a mesh-connected multiprocessor
+with programmable protocol processors, four coherence protocols
+(sequentially consistent, eager RC, lazy RC, and the lazier
+deferred-notice variant), the seven SPLASH-style applications of the
+paper's evaluation, and a harness that regenerates every table and
+figure.
+
+Quick start::
+
+    from repro import SystemConfig, simulate
+    from repro.apps import Gauss
+
+    lazy  = simulate(Gauss, SystemConfig.scaled(n_procs=16), "lrc", n=64)
+    eager = simulate(Gauss, SystemConfig.scaled(n_procs=16), "erc", n=64)
+    print(lazy.exec_time / eager.exec_time)
+"""
+
+from repro.config import SystemConfig
+from repro.core.api import build_machine, run_app, simulate
+from repro.core.machine import Machine, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "Machine",
+    "RunResult",
+    "build_machine",
+    "run_app",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Command-line interface: ``python -m repro``.
+
+    python -m repro list
+    python -m repro run gauss --protocol lrc --procs 16 --small
+    python -m repro compare mp3d --procs 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APPS
+from repro.harness import run_experiment
+from repro.harness.presets import APP_PRESETS, APP_PRESETS_SMALL
+from repro.protocols import PROTOCOLS
+from repro.stats.report import format_table
+
+
+def _cmd_list(_args) -> int:
+    print("applications:")
+    for name in sorted(APPS):
+        print(f"  {name:12s} presets: {APP_PRESETS[name]}")
+    print("protocols:", ", ".join(sorted(PROTOCOLS)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    r = run_experiment(
+        args.app, args.protocol, n_procs=args.procs, small=args.small
+    )
+    s = r.summary()
+    rows = [[k, v if not isinstance(v, float) else f"{v:.4f}"] for k, v in s.items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.app} / {args.protocol} / {args.procs} procs"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = []
+    base = None
+    for proto in ("sc", "erc", "lrc", "lrc-ext"):
+        r = run_experiment(args.app, proto, n_procs=args.procs, small=args.small)
+        if base is None:
+            base = r.exec_time
+        b = r.breakdown()
+        rows.append(
+            [
+                proto,
+                r.exec_time,
+                f"{r.exec_time / base:.3f}",
+                f"{r.miss_rate * 100:.2f}%",
+                b["read"],
+                b["write"],
+                b["sync"],
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "cycles", "norm", "miss", "read", "write", "sync"],
+            rows,
+            title=f"{args.app}, {args.procs} processors",
+        )
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("list", help="list applications and protocols")
+
+    p_run = sub.add_parser("run", help="run one app under one protocol")
+    p_run.add_argument("app", choices=sorted(APPS))
+    p_run.add_argument("--protocol", default="lrc", choices=sorted(PROTOCOLS))
+    p_run.add_argument("--procs", type=int, default=16)
+    p_run.add_argument("--small", action="store_true")
+
+    p_cmp = sub.add_parser("compare", help="run one app under all protocols")
+    p_cmp.add_argument("app", choices=sorted(APPS))
+    p_cmp.add_argument("--procs", type=int, default=16)
+    p_cmp.add_argument("--small", action="store_true")
+
+    args = ap.parse_args(argv)
+    if args.cmd == "list":
+        return _cmd_list(args)
+    if args.cmd == "run":
+        return _cmd_run(args)
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The paper's application suite (Section 3).
+
+Three computational kernels — :class:`Gauss`, :class:`FFT`,
+:class:`BlockedLU` — and four complete applications —
+:class:`BarnesHut`, :class:`Cholesky`, :class:`LocusRoute`,
+:class:`MP3D` — all SPLASH programs re-implemented as reference-stream
+generators that execute the real algorithms' control flow (see
+DESIGN.md for the MINT-substitution rationale).
+"""
+
+from repro.apps.common import App, APPS, register
+from repro.apps.gauss import Gauss
+from repro.apps.fft import FFT
+from repro.apps.blu import BlockedLU
+from repro.apps.barnes import BarnesHut
+from repro.apps.cholesky import Cholesky
+from repro.apps.locusroute import LocusRoute
+from repro.apps.mp3d import MP3D
+
+__all__ = [
+    "App",
+    "APPS",
+    "register",
+    "Gauss",
+    "FFT",
+    "BlockedLU",
+    "BarnesHut",
+    "Cholesky",
+    "LocusRoute",
+    "MP3D",
+]

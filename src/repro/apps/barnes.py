@@ -1,0 +1,212 @@
+"""Barnes-Hut N-body simulation.
+
+"Barnes-Hut is an N-body application that simulates the evolution of 4K
+bodies under the influence of gravitational forces for 4 time steps."
+
+A real quadtree is built over deterministic pseudo-random body positions
+at app-construction time (positions evolve slightly every step, so the
+trees differ across steps); the per-processor reference streams are then
+generated from actual tree operations:
+
+1. **tree build** — processors insert their bodies; every cell on the
+   insertion path is read-modified-written under that cell's lock
+   (migratory data: consecutive writers of a cell are usually different
+   processors);
+2. **force computation** — each body traverses the tree with the usual
+   opening criterion, reading cell multipoles (read-mostly shared) and
+   leaf bodies, then writes the body's acceleration;
+3. **update** — positions/velocities of owned bodies are read-modified-
+   written.
+
+Bodies are 64-byte records: two bodies share each 128-byte line, so
+partition boundaries and force-phase reads of remotely-updated bodies
+produce both the false-sharing and the write-after-read upgrades the
+paper highlights for barnes (Section 4.2: the gain comes mainly from
+reduced synchronization waits on migratory data).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.apps.common import App, register
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    READ_RUN,
+    RELEASE,
+    RW_RUN,
+)
+
+BODY_BYTES = 64   # position, velocity, acceleration, mass: 8 words
+CELL_BYTES = 64   # center of mass, total mass, child summary: 8 words
+
+
+class _Cell:
+    __slots__ = ("idx", "children", "bodies", "cx", "cy", "half")
+
+    def __init__(self, idx: int, cx: float, cy: float, half: float) -> None:
+        self.idx = idx
+        self.children = [None, None, None, None]
+        self.bodies: List[int] = []
+        self.cx = cx
+        self.cy = cy
+        self.half = half
+
+
+class _Quadtree:
+    """A genuine 2-D Barnes-Hut quadtree (leaf capacity > 1)."""
+
+    def __init__(self, positions: np.ndarray, leaf_cap: int = 4) -> None:
+        self.positions = positions
+        self.leaf_cap = leaf_cap
+        self.cells: List[_Cell] = []
+        self.root = self._new_cell(0.5, 0.5, 0.5)
+        self.paths: List[List[int]] = []  # per body: cells on insertion path
+        for b in range(len(positions)):
+            self.paths.append(self._insert(b))
+
+    def _new_cell(self, cx: float, cy: float, half: float) -> _Cell:
+        c = _Cell(len(self.cells), cx, cy, half)
+        self.cells.append(c)
+        return c
+
+    def _quadrant(self, cell: _Cell, b: int) -> int:
+        x, y = self.positions[b]
+        return (1 if x >= cell.cx else 0) | (2 if y >= cell.cy else 0)
+
+    def _child_center(self, cell: _Cell, q: int):
+        h = cell.half / 2
+        return (
+            cell.cx + (h if q & 1 else -h),
+            cell.cy + (h if q & 2 else -h),
+            h,
+        )
+
+    def _insert(self, b: int) -> List[int]:
+        # Descend to the leaf covering b's position.
+        path = []
+        cell = self.root
+        depth = 0
+        while any(ch is not None for ch in cell.children):
+            path.append(cell.idx)
+            q = self._quadrant(cell, b)
+            if cell.children[q] is None:
+                cell.children[q] = self._new_cell(*self._child_center(cell, q))
+            cell = cell.children[q]
+            depth += 1
+        path.append(cell.idx)
+        cell.bodies.append(b)
+        # Split overfull leaves, following b down as the tree deepens.
+        while len(cell.bodies) > self.leaf_cap and depth <= 20:
+            spill = cell.bodies
+            cell.bodies = []
+            for sb in spill:
+                q = self._quadrant(cell, sb)
+                if cell.children[q] is None:
+                    cell.children[q] = self._new_cell(*self._child_center(cell, q))
+                cell.children[q].bodies.append(sb)
+            cell = cell.children[self._quadrant(cell, b)]
+            path.append(cell.idx)
+            depth += 1
+        return path
+
+    def traversal(self, b: int, theta: float = 0.7):
+        """Cells visited and leaf-bodies examined computing force on b."""
+        x, y = self.positions[b]
+        cells: List[int] = []
+        bodies: List[int] = []
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            cells.append(cell.idx)
+            dx = cell.cx - x
+            dy = cell.cy - y
+            dist = max((dx * dx + dy * dy) ** 0.5, 1e-9)
+            if 2 * cell.half / dist < theta and not cell.bodies:
+                continue  # far enough: use the cell's multipole
+            if cell.bodies:
+                bodies.extend(sb for sb in cell.bodies if sb != b)
+                continue
+            for ch in cell.children:
+                if ch is not None:
+                    stack.append(ch)
+        return cells, bodies
+
+
+@register
+class BarnesHut(App):
+    name = "barnes"
+
+    def setup(
+        self,
+        bodies: int = 256,
+        steps: int = 2,
+        theta: float = 0.7,
+        flops_per_interaction: int = 6,
+    ) -> None:
+        """``bodies`` — N (paper: 4096); ``steps`` — time steps (paper: 4)."""
+        self.n_bodies = bodies
+        self.steps = steps
+        self.flops = flops_per_interaction
+        pos = self.rng.random((bodies, 2))
+        # Precompute a tree per step; positions drift between steps so the
+        # trees (and thus sharing patterns) differ.
+        self.trees: List[_Quadtree] = []
+        for _ in range(steps):
+            self.trees.append(_Quadtree(pos.copy()))
+            pos = np.clip(
+                pos + self.rng.normal(0, 0.02, pos.shape), 0.0, 0.999999
+            )
+        max_cells = max(len(t.cells) for t in self.trees)
+        self.bodies_seg = self.space.alloc(bodies * BODY_BYTES, "barnes.bodies")
+        self.cells_seg = self.space.alloc(max_cells * CELL_BYTES, "barnes.cells")
+        self.cell_lock = self.lock_id(max_cells)
+        self.build_barrier = [self.barrier_id() for _ in range(steps)]
+        self.force_barrier = [self.barrier_id() for _ in range(steps)]
+        self.update_barrier = [self.barrier_id() for _ in range(steps)]
+
+    def body_addr(self, b: int) -> int:
+        return self.bodies_seg.base + b * BODY_BYTES
+
+    def cell_addr(self, c: int) -> int:
+        return self.cells_seg.base + c * CELL_BYTES
+
+    def program(self, pid: int) -> Iterator:
+        mine = self.blocked(self.n_bodies, pid)
+        flops = self.flops
+        for step in range(self.steps):
+            tree = self.trees[step]
+            # -- phase 1: tree build.  Interior cells on the insertion path
+            # are read while descending; only the leaf actually modified is
+            # locked (as in the SPLASH code).  Leaf cells are migratory:
+            # consecutive writers are usually different processors.
+            for b in mine:
+                yield (READ_RUN, self.body_addr(b), 4, 8)  # position+mass
+                path = tree.paths[b]
+                for cidx in path[:-1]:
+                    yield (READ_RUN, self.cell_addr(cidx), 2, 8)
+                leaf = path[-1]
+                yield (ACQUIRE, self.cell_lock + leaf)
+                yield (RW_RUN, self.cell_addr(leaf), 4, 8)
+                yield (RELEASE, self.cell_lock + leaf)
+            yield (BARRIER, self.build_barrier[step])
+            # -- phase 2: force computation (read-mostly tree traversal)
+            for b in mine:
+                cells, nbodies = tree.traversal(b)
+                for cidx in cells:
+                    yield (READ_RUN, self.cell_addr(cidx), 4, 8)
+                for sb in nbodies:
+                    yield (READ_RUN, self.body_addr(sb), 4, 8)
+                yield (COMPUTE, flops * (len(cells) + len(nbodies)))
+                # Write the accumulated acceleration into my body.
+                yield (RW_RUN, self.body_addr(b) + 32, 2, 8)
+            yield (BARRIER, self.force_barrier[step])
+            # -- phase 3: position/velocity update
+            for b in mine:
+                yield (RW_RUN, self.body_addr(b), 6, 8)
+            yield (COMPUTE, 10 * len(mine))
+            yield (BARRIER, self.update_barrier[step])

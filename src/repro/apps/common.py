@@ -1,0 +1,103 @@
+"""Application framework.
+
+An :class:`App` is constructed against a machine (it allocates its shared
+data in the machine's address space) and then produces one reference-
+stream generator per processor via :meth:`App.program`.
+
+Conventions used by all apps:
+
+* synchronization name spaces: lock ids, flag ids, and barrier ids are
+  independent (the runtime keys them separately), but each app keeps its
+  own ids disjoint per kind anyway, allocated via the ``lock_id`` /
+  ``flag_id`` / ``barrier_id`` helpers;
+* ``COMPUTE`` gaps model the arithmetic between memory references (one
+  cycle per reference is charged implicitly by the CPU model);
+* every app ends with a global barrier so all processors finish together
+  (as the SPLASH programs do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+import numpy as np
+
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    READ,
+    READ_RUN,
+    RELEASE,
+    RW_RUN,
+    SET_FLAG,
+    WAIT_FLAG,
+    WRITE,
+    WRITE_RUN,
+)
+
+APPS: Dict[str, Type] = {}
+
+
+def register(cls: Type) -> Type:
+    """Class decorator: add an app to the global registry."""
+    APPS[cls.name] = cls
+    return cls
+
+
+class App:
+    """Base class for workload generators."""
+
+    name = "app"
+
+    def __init__(self, machine, seed: int = 0, **params) -> None:
+        self.machine = machine
+        self.space = machine.space
+        self.cfg = machine.config
+        self.n_procs = machine.config.n_procs
+        self.rng = np.random.default_rng(machine.config.seed + seed)
+        self._next_lock = 0
+        self._next_flag = 0
+        self._next_barrier = 0
+        self.setup(**params)
+
+    # -- to be provided by subclasses ------------------------------------------
+
+    def setup(self, **params) -> None:
+        raise NotImplementedError
+
+    def program(self, pid: int) -> Iterator:
+        raise NotImplementedError
+
+    # -- id allocators ------------------------------------------------------------
+
+    def lock_id(self, n: int = 1) -> int:
+        base = self._next_lock
+        self._next_lock += n
+        return base
+
+    def flag_id(self, n: int = 1) -> int:
+        base = self._next_flag
+        self._next_flag += n
+        return base
+
+    def barrier_id(self) -> int:
+        b = self._next_barrier
+        self._next_barrier += 1
+        return b
+
+    # -- partitioning helpers --------------------------------------------------------
+
+    def cyclic(self, total: int, pid: int) -> range:
+        """Indices owned by ``pid`` under cyclic (round-robin) assignment."""
+        return range(pid, total, self.n_procs)
+
+    def blocked(self, total: int, pid: int) -> range:
+        """Indices owned by ``pid`` under contiguous block assignment."""
+        per = -(-total // self.n_procs)
+        lo = min(pid * per, total)
+        hi = min(lo + per, total)
+        return range(lo, hi)
+
+    def owner_cyclic(self, index: int) -> int:
+        return index % self.n_procs

@@ -1,0 +1,71 @@
+"""Gauss: Gaussian elimination without pivoting (SPLASH-style kernel).
+
+"Gauss performs Gaussian elimination without pivoting on a 448x448
+matrix."  Rows are assigned cyclically; the producer of pivot row ``k``
+signals a per-row flag, and consumers read the freshly-written (dirty)
+row under tight synchronization — the access pattern that makes eager
+protocols pay 3-hop transactions and contention at the producer, while
+the lazy protocol reads the up-to-date home memory in 2 hops
+(Section 4.2's analysis of gauss).
+
+No false sharing: rows are cache-line aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.apps.common import App, register
+from repro.program.ops import (
+    BARRIER,
+    COMPUTE,
+    READ,
+    READ_RUN,
+    RW_RUN,
+    SET_FLAG,
+    WAIT_FLAG,
+)
+
+
+@register
+class Gauss(App):
+    name = "gauss"
+
+    def setup(self, n: int = 96, flops_per_elem: int = 2) -> None:
+        """``n`` — matrix dimension (paper: 448; scaled default 96)."""
+        self.n = n
+        self.flops = flops_per_elem
+        cfg = self.cfg
+        # Row-major n x n matrix of doubles, rows padded to a whole number
+        # of cache lines so rows never falsely share a line.
+        line = cfg.line_size
+        self.row_bytes = -(-n * 8 // line) * line
+        self.a = self.space.alloc(n * self.row_bytes, "gauss.A")
+        self.row_flag = self.flag_id(n)
+        self.end_barrier = self.barrier_id()
+
+    def row_addr(self, i: int, j: int) -> int:
+        return self.a.base + i * self.row_bytes + j * 8
+
+    def program(self, pid: int) -> Iterator:
+        n = self.n
+        np_ = self.n_procs
+        flops = self.flops
+        for k in range(n - 1):
+            width = n - k
+            if k % np_ == pid:
+                # Normalize pivot row k (divide by the pivot): read+write
+                # the active part of the row, then publish it.
+                yield (RW_RUN, self.row_addr(k, k), width, 8)
+                yield (COMPUTE, flops * width)
+                yield (SET_FLAG, self.row_flag + k)
+            else:
+                yield (WAIT_FLAG, self.row_flag + k)
+            # Eliminate column k from my rows below k.
+            pivot_base = self.row_addr(k, k + 1)
+            for i in range(k + 1 + (pid - (k + 1)) % np_, n, np_):
+                yield (READ, self.row_addr(i, k))       # the multiplier
+                yield (READ_RUN, pivot_base, width - 1, 8)
+                yield (RW_RUN, self.row_addr(i, k + 1), width - 1, 8)
+                yield (COMPUTE, flops * (width - 1))
+        yield (BARRIER, self.end_barrier)

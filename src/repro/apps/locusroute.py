@@ -1,0 +1,131 @@
+"""LocusRoute: VLSI standard-cell router.
+
+"Locusroute is a VLSI standard cell router using the circuit
+Primary2.grin containing 3029 wires."  The proprietary circuit is
+replaced by a seeded synthetic wire list (see DESIGN.md); the router's
+memory behavior is preserved:
+
+* a shared *cost grid* whose cells record routing occupancy;
+* wires are picked off a lock-protected task queue;
+* routing a wire evaluates several candidate two-bend (L/Z) routes by
+  *reading* every grid cell along each candidate, then *read-modify-
+  writes* the cells of the chosen route — without any synchronization
+  around the grid (the data races the paper discusses: locusroute does
+  not obey the release-consistency model);
+* a rip-up-and-reroute pass repeats the process.
+
+Grid cells are 8 bytes, so 16 cells share a 128-byte line: concurrent
+routing in nearby regions yields the heavy false sharing of Table 2
+(33% of locusroute's misses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.apps.common import App, register
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    READ_RUN,
+    RELEASE,
+    RW_RUN,
+)
+
+
+@register
+class LocusRoute(App):
+    name = "locusroute"
+
+    def setup(
+        self,
+        width: int = 128,
+        height: int = 24,
+        wires: int = 192,
+        passes: int = 2,
+        candidates: int = 3,
+        cost_per_cell: int = 3,
+    ) -> None:
+        """Synthetic circuit: ``wires`` random two-pin nets on a
+        ``width`` x ``height`` routing grid (paper: Primary2.grin, 3029
+        wires)."""
+        self.w = width
+        self.h = height
+        self.n_wires = wires
+        self.passes = passes
+        self.n_cand = candidates
+        self.flops = cost_per_cell
+        rng = self.rng
+        self.grid = self.space.alloc(width * height * 8, "locus.grid")
+        self.wire_list: List[Tuple[int, int, int, int]] = []
+        for _ in range(wires):
+            x1 = int(rng.integers(0, width))
+            x2 = int(rng.integers(0, width))
+            y1 = int(rng.integers(0, height))
+            y2 = int(rng.integers(0, height))
+            self.wire_list.append((x1, y1, x2, y2))
+        # Chosen candidate per wire per pass (the real router picks the
+        # cheapest; the choice itself doesn't change the traffic shape).
+        self.choice = [
+            [int(rng.integers(0, candidates)) for _ in range(wires)]
+            for _ in range(passes)
+        ]
+        self.qlock = self.lock_id()
+        self.qhead = self.space.alloc(self.cfg.page_size, "locus.queue")
+        self.pass_barrier = [self.barrier_id() for _ in range(passes)]
+
+    def cell(self, x: int, y: int) -> int:
+        return self.grid.base + (y * self.w + x) * 8
+
+    def _route_segments(self, wire, cand: int):
+        """The horizontal/vertical segments of candidate ``cand``.
+
+        Candidate 0 routes x-then-y at y1, candidate 1 routes y-then-x,
+        candidate k>=2 uses an intermediate "Z" row between y1 and y2.
+        """
+        x1, y1, x2, y2 = wire
+        xa, xb = sorted((x1, x2))
+        ya, yb = sorted((y1, y2))
+        segs = []
+        if cand == 0:
+            segs.append(("h", y1, xa, xb))
+            segs.append(("v", x2, ya, yb))
+        elif cand == 1:
+            segs.append(("v", x1, ya, yb))
+            segs.append(("h", y2, xa, xb))
+        else:
+            ymid = (y1 + y2) // 2 if yb > ya else y1
+            segs.append(("v", x1, min(y1, ymid), max(y1, ymid)))
+            segs.append(("h", ymid, xa, xb))
+            segs.append(("v", x2, min(ymid, y2), max(ymid, y2)))
+        return segs
+
+    def _emit_segments(self, segs, write: bool):
+        op = RW_RUN if write else READ_RUN
+        for kind, fixed, a, b in segs:
+            count = b - a + 1
+            if kind == "h":
+                yield (op, self.cell(a, fixed), count, 8)
+            else:
+                yield (op, self.cell(fixed, a), count, self.w * 8)
+
+    def program(self, pid: int) -> Iterator:
+        for p in range(self.passes):
+            for wid in self.cyclic(self.n_wires, pid):
+                # Task queue pop.
+                yield (ACQUIRE, self.qlock)
+                yield (RW_RUN, self.qhead.base, 1, 8)
+                yield (RELEASE, self.qlock)
+                wire = self.wire_list[wid]
+                ncells = 0
+                # Cost-evaluate every candidate (reads only).
+                for cand in range(self.n_cand):
+                    segs = self._route_segments(wire, cand)
+                    yield from self._emit_segments(segs, write=False)
+                    ncells += sum(s[3] - s[2] + 1 for s in segs)
+                yield (COMPUTE, self.flops * ncells)
+                # Commit the chosen route (read-modify-write, unsynchronized).
+                chosen = self._route_segments(wire, self.choice[p][wid])
+                yield from self._emit_segments(chosen, write=True)
+            yield (BARRIER, self.pass_barrier[p])

@@ -1,0 +1,120 @@
+"""MP3D: rarefied-fluid-flow (wind tunnel) particle simulation.
+
+"Mp3d is a wind-tunnel airflow simulation of 40000 particles for 10
+steps."  Each step moves every particle, updates the *space cell* it
+lands in (an unsynchronized read-modify-write of a shared cell record —
+mp3d is the canonical data-racy SPLASH program), and occasionally
+collides it with a partner particle found in the same cell.
+
+Memory behavior reproduced:
+
+* particle records are 64 bytes (two per cache line): the per-step
+  read-modify-write of each processor's own particles plus collision
+  reads of remote partners gives true sharing and boundary false sharing;
+* space-cell records are 64 bytes (two per line — mp3d's cells carry
+  particle counts and momentum sums): writes from whichever processor's
+  particle lands there make cells the write-miss- and true-sharing-
+  dominated structure of Table 2 (46.5% write misses, 31.1% true
+  sharing for mp3d), with neighbor-cell false sharing on top;
+* one global barrier per step.
+
+Particle trajectories are precomputed (seeded) at app construction, so
+all protocols replay the identical workload.  The Section 4.2
+quality-of-solution experiment (stale reads vs. sequentially consistent
+reads) lives in :mod:`repro.apps.mp3d_quality`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.apps.common import App, register
+from repro.program.ops import (
+    BARRIER,
+    COMPUTE,
+    READ,
+    READ_RUN,
+    RW_RUN,
+)
+
+PARTICLE_BYTES = 64  # position, velocity, type: 8 words
+CELL_BYTES = 64      # particle count, momentum/energy sums: 8 words
+
+
+@register
+class MP3D(App):
+    name = "mp3d"
+
+    def setup(
+        self,
+        particles: int = 2048,
+        steps: int = 4,
+        cells: int = 512,
+        collide_prob: float = 0.25,
+        flops_per_move: int = 8,
+    ) -> None:
+        """``particles`` (paper: 40000), ``steps`` (paper: 10)."""
+        self.n_particles = particles
+        self.steps = steps
+        self.n_cells = cells
+        self.flops = flops_per_move
+        rng = self.rng
+        # Precomputed trajectories: cell index per (step, particle), a
+        # drifting pseudo-random walk (wind flows along the tunnel).
+        cell_idx = rng.integers(0, cells, size=particles)
+        traj = np.empty((steps, particles), dtype=np.int64)
+        for s in range(steps):
+            drift = rng.integers(0, 4, size=particles)  # mostly forward
+            cell_idx = (cell_idx + drift) % cells
+            traj[s] = cell_idx
+        self.traj = traj
+        # Collision partner (or -1): a particle sharing the cell this step.
+        self.partner = np.full((steps, particles), -1, dtype=np.int64)
+        for s in range(steps):
+            order = {}
+            for p in range(particles):
+                c = int(traj[s, p])
+                if c in order and rng.random() < collide_prob:
+                    self.partner[s, p] = order[c]
+                order[c] = p
+        self.particles_seg = self.space.alloc(
+            particles * PARTICLE_BYTES, "mp3d.particles"
+        )
+        self.cells_seg = self.space.alloc(cells * CELL_BYTES, "mp3d.cells")
+        # One cache line per processor of global statistics.
+        self.reservoir = self.space.alloc(
+            self.n_procs * self.cfg.line_size, "mp3d.global"
+        )
+        self.step_barrier = [self.barrier_id() for _ in range(steps)]
+
+    def particle_addr(self, p: int) -> int:
+        return self.particles_seg.base + p * PARTICLE_BYTES
+
+    def cell_addr(self, c: int) -> int:
+        return self.cells_seg.base + c * CELL_BYTES
+
+    def program(self, pid: int) -> Iterator:
+        mine = self.blocked(self.n_particles, pid)
+        flops = self.flops
+        traj = self.traj
+        partner = self.partner
+        for s in range(self.steps):
+            for p in mine:
+                # Move: read and rewrite my particle's record.
+                yield (RW_RUN, self.particle_addr(p), 6, 8)
+                # Update the destination space cell (unsynchronized!):
+                # bump the count and fold in the particle's momentum.
+                yield (RW_RUN, self.cell_addr(int(traj[s, p])), 3, 8)
+                mate = int(partner[s, p])
+                if mate >= 0:
+                    # Collide: read the partner's record, rewrite mine.
+                    yield (READ_RUN, self.particle_addr(mate), 4, 8)
+                    yield (RW_RUN, self.particle_addr(p) + 8, 3, 8)
+                    yield (COMPUTE, flops)
+                yield (COMPUTE, flops)
+            # Tally step statistics into this processor's line of the
+            # global record.
+            yield (RW_RUN, self.reservoir.base + pid * self.cfg.line_size, 2, 8)
+            yield (BARRIER, self.step_barrier[s])

@@ -1,0 +1,16 @@
+"""Processor-side memory hierarchy: cache, write buffer, coalescing buffer."""
+
+from repro.cache.state import INVALID, RO, RW, state_name
+from repro.cache.cache import Cache
+from repro.cache.write_buffer import WriteBuffer
+from repro.cache.coalescing_buffer import CoalescingBuffer
+
+__all__ = [
+    "INVALID",
+    "RO",
+    "RW",
+    "state_name",
+    "Cache",
+    "WriteBuffer",
+    "CoalescingBuffer",
+]

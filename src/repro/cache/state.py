@@ -1,0 +1,19 @@
+"""Local cache-line states.
+
+The paper (Section 2): "this latter, local state indicates whether a line
+is invalid, read-only, or read-write; it allows us to detect the initial
+access by a processor that triggers a coherence transaction."
+
+Values are ordered so that a required-permission comparison is a single
+integer compare in the processor's hit fast path.
+"""
+
+INVALID = 0
+RO = 1
+RW = 2
+
+_NAMES = {INVALID: "INVALID", RO: "RO", RW: "RW"}
+
+
+def state_name(s: int) -> str:
+    return _NAMES[s]

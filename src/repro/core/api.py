@@ -1,0 +1,52 @@
+"""Convenience entry points.
+
+>>> from repro import simulate, SystemConfig
+>>> from repro.apps import Gauss
+>>> result = simulate(Gauss, SystemConfig.scaled(n_procs=8), "lrc", n=32)
+>>> result.exec_time > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.config import SystemConfig
+from repro.core.machine import Machine, RunResult
+
+
+def build_machine(
+    config: Optional[SystemConfig] = None,
+    protocol: str = "lrc",
+    classify: bool = False,
+) -> Machine:
+    """Create a machine with the given (or default) configuration."""
+    return Machine(config or SystemConfig(), protocol=protocol, classify=classify)
+
+
+def run_app(app, protocol: str = "lrc", classify: bool = False) -> RunResult:
+    """Run an already-constructed application on a fresh machine.
+
+    The app must expose ``machine`` (the one it allocated against) and
+    ``program(pid)``; see :class:`repro.apps.common.App`.
+    """
+    machine = app.machine
+    if machine.protocol_name != protocol:
+        raise ValueError(
+            "app was built against a machine running "
+            f"{machine.protocol_name!r}, not {protocol!r}"
+        )
+    return machine.run([app.program(p) for p in range(machine.config.n_procs)])
+
+
+def simulate(
+    app_cls: Type,
+    config: Optional[SystemConfig] = None,
+    protocol: str = "lrc",
+    classify: bool = False,
+    **app_params,
+) -> RunResult:
+    """One-call simulation: build machine, instantiate app, run it."""
+    machine = build_machine(config, protocol, classify)
+    app = app_cls(machine, **app_params)
+    return machine.run([app.program(p) for p in range(machine.config.n_procs)])

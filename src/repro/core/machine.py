@@ -1,0 +1,124 @@
+"""Machine assembly: nodes + fabric + protocol + address space.
+
+Typical use::
+
+    machine = Machine(SystemConfig.scaled(n_procs=16), protocol="lrc")
+    seg = machine.space.alloc(1 << 16, "data")
+    result = machine.run([program(p) for p in range(16)])
+    print(result.stats.exec_time)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.node import Node
+from repro.core.processor import Processor
+from repro.engine.simulator import DeadlockError, Simulator
+from repro.network.fabric import Fabric
+from repro.network.messages import MessageStats
+from repro.program.address_space import AddressSpace
+from repro.stats.classification import MissClassifier
+from repro.stats.counters import MachineStats
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulation run."""
+
+    config: SystemConfig
+    protocol: str
+    stats: MachineStats
+    traffic: MessageStats
+    classifier: Optional[MissClassifier]
+
+    @property
+    def exec_time(self) -> int:
+        return self.stats.exec_time
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.miss_rate
+
+    def breakdown(self):
+        return self.stats.breakdown()
+
+    def summary(self) -> dict:
+        s = self.stats.summary()
+        s["protocol"] = self.protocol
+        s["messages"] = self.traffic.total_messages
+        s["bytes"] = self.traffic.total_bytes
+        return s
+
+
+class Machine:
+    """A mesh-connected multiprocessor running one coherence protocol."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocol: str = "lrc",
+        classify: bool = False,
+        max_cycles: int = 1 << 62,
+    ) -> None:
+        # Import here to avoid a cycle (protocols import nothing from core,
+        # but core.__init__ re-exports both directions for users).
+        from repro.protocols import make_protocol
+
+        self.config = config
+        self.sim = Simulator(max_cycles=max_cycles)
+        self.fabric = Fabric(config, self.sim)
+        self.stats = MachineStats(config.n_procs)
+        self.space = AddressSpace(config)
+        self.home_of = self.space.build_block_home_lookup()
+        self.classifier = MissClassifier() if classify else None
+        self.protocol_name = protocol
+        self.nodes: List[Node] = []
+        self.protocol = make_protocol(protocol, self)
+        for i in range(config.n_procs):
+            node = Node(i, config, self.stats.procs[i])
+            self.protocol.attach_node(node)
+            node.proc = Processor(node, self)
+            self.nodes.append(node)
+        self._finished = 0
+        self._ran = False
+
+    # -- callbacks ---------------------------------------------------------------
+
+    def proc_finished(self, proc_id: int, t: int) -> None:
+        self._finished += 1
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, programs: Sequence[Iterator]) -> RunResult:
+        """Run one program generator per processor to completion."""
+        if self._ran:
+            raise RuntimeError("a Machine instance runs exactly one workload")
+        self._ran = True
+        if len(programs) != self.config.n_procs:
+            raise ValueError(
+                f"need {self.config.n_procs} programs, got {len(programs)}"
+            )
+        for node, gen in zip(self.nodes, programs):
+            node.proc.set_program(gen)
+            node.proc.start()
+        self.sim.run()
+        if self._finished != self.config.n_procs:
+            stuck = [
+                (n.id, n.proc._block_bucket, n.out_count, len(n.wb or ()))
+                for n in self.nodes
+                if not n.proc.done
+            ]
+            raise DeadlockError(
+                f"{len(stuck)} processors never finished "
+                f"(id, bucket, outstanding, wb): {stuck[:8]}"
+            )
+        return RunResult(
+            config=self.config,
+            protocol=self.protocol_name,
+            stats=self.stats,
+            traffic=self.fabric.stats,
+            classifier=self.classifier,
+        )

@@ -1,0 +1,109 @@
+"""One node of the multiprocessor.
+
+A node bundles a CPU (the :class:`~repro.core.processor.Processor`), a
+direct-mapped cache, the protocol-dependent buffering (write buffer,
+coalescing buffer), a protocol processor, a local bus, a memory module,
+and the directory slice for the blocks homed here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.cache import Cache, CoalescingBuffer, WriteBuffer
+from repro.config import SystemConfig
+from repro.engine.resource import Resource
+from repro.mem.dram import MemoryModule
+from repro.stats.counters import ProcStats
+
+
+class Node:
+    """Hardware and protocol state local to one node."""
+
+    __slots__ = (
+        "id",
+        "config",
+        "cache",
+        "wb",
+        "cbuf",
+        "pp",
+        "bus",
+        "mem",
+        "directory",
+        "stats",
+        "proc",
+        "out_count",
+        "release_cb",
+        "pending_inval",
+        "deferred_notices",
+        "wb_head_busy",
+        "home_busy",
+        "home_queue",
+        "lock_state",
+        "barrier_state",
+        "acq_inv_done",
+        "msi_pending",
+        "wb_fetching",
+        "wt_drain_busy",
+    )
+
+    def __init__(self, node_id: int, config: SystemConfig, stats: ProcStats) -> None:
+        self.id = node_id
+        self.config = config
+        self.cache = Cache(config, node_id)
+        self.wb: Optional[WriteBuffer] = None        # set by protocol
+        self.cbuf: Optional[CoalescingBuffer] = None  # set by lazy protocols
+        self.pp = Resource(f"pp[{node_id}]")
+        self.bus = Resource(f"bus[{node_id}]")
+        self.mem = MemoryModule(config, node_id)
+        self.directory = None                         # set by protocol
+        self.stats = stats
+        self.proc = None                              # set by machine
+        # Outstanding coherence transactions that a release must wait on.
+        self.out_count = 0
+        self.release_cb: Optional[Callable] = None
+        # Lazy protocols: blocks to invalidate at the next acquire.
+        self.pending_inval: Set[int] = set()
+        # Lazy-ext: written blocks whose write notice is deferred.
+        self.deferred_notices: Set[int] = set()
+        # Eager/SC write-buffer drain: head transaction in flight.
+        self.wb_head_busy = False
+        # Home-side per-block serialization (MSI protocols).
+        self.home_busy: Set[int] = set()
+        self.home_queue = {}
+        # Synchronization manager state (for locks/barriers homed here).
+        self.lock_state = {}
+        self.barrier_state = {}
+        # Completion time of acquire-time invalidation processing.
+        self.acq_inv_done = 0
+        # Home-side ack-collection records (MSI protocols): block -> dict.
+        self.msi_pending = {}
+        # Lazy protocols: write-buffer entries with an outstanding fetch.
+        self.wb_fetching: Set[int] = set()
+        # Lazy protocols: number of background coalescing-buffer flushes
+        # currently in flight.
+        self.wt_drain_busy = 0
+
+    # -- outstanding-transaction bookkeeping -------------------------------------
+
+    def txn_start(self) -> None:
+        self.out_count += 1
+
+    def txn_done(self, t: int) -> None:
+        self.out_count -= 1
+        if self.out_count < 0:
+            raise RuntimeError(f"node {self.id}: negative outstanding count")
+        if self.out_count == 0:
+            self.check_release(t)
+
+    def check_release(self, t: int) -> None:
+        """Fire the pending release continuation if all conditions hold."""
+        cb = self.release_cb
+        if (
+            cb is not None
+            and self.out_count == 0
+            and (self.wb is None or self.wb.empty)
+            and (self.cbuf is None or self.cbuf.empty)
+        ):
+            self.release_cb = None
+            cb(t)

@@ -1,0 +1,375 @@
+"""The per-node CPU: executes a program's reference stream.
+
+Design notes (hot path):
+
+* Programs yield plain tuples; run-ops amortize generator resumes over
+  whole loops of references.
+* Cache hits are resolved inline against the raw tag/state lists — a
+  read hit costs a few integer ops and no function calls; a write hit on
+  a read-write line with a live coalescing-buffer entry is equally flat.
+* A processor runs in bounded *quanta*: it may advance at most
+  ``config.quantum`` cycles past the global clock before rescheduling,
+  which bounds the timing skew between processors (important for
+  contention and sharing interleavings) while keeping the event queue
+  out of the per-reference path.
+
+Blocking protocol ops hand control to the protocol object, which calls
+:meth:`Processor.unblock` when the stall resolves.  The convention for
+``Protocol.cpu_write`` is: return the new local time if the CPU may
+continue, or ``-1`` if the CPU must stall and retry the same write when
+woken (write-buffer full, or SC write miss).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    FENCE,
+    READ,
+    READ_RUN,
+    RELEASE,
+    RW_RESUME,
+    RW_RUN,
+    SET_FLAG,
+    WAIT_FLAG,
+    WRITE,
+    WRITE_RUN,
+)
+
+# Stall buckets.
+B_READ = 0
+B_WB = 1
+B_SYNC = 2
+
+
+class Processor:
+    """Drives one program generator against one node."""
+
+    __slots__ = (
+        "id",
+        "node",
+        "machine",
+        "sim",
+        "protocol",
+        "stats",
+        "_gen",
+        "_pending",
+        "_line_shift",
+        "_word_mask",
+        "_quantum",
+        "done",
+        "blocked",
+        "_block_t",
+        "_block_bucket",
+        "_wt_words",
+    )
+
+    def __init__(self, node, machine) -> None:
+        self.id = node.id
+        self.node = node
+        self.machine = machine
+        self.sim = machine.sim
+        self.protocol = machine.protocol
+        self.stats = node.stats
+        cfg = machine.config
+        self._gen: Optional[Iterator] = None
+        self._pending = None
+        self._line_shift = cfg.line_shift
+        self._word_mask = (cfg.line_size // cfg.word_size) - 1
+        self._quantum = cfg.quantum
+        self.done = False
+        self.blocked = False
+        self._block_t = 0
+        self._block_bucket = B_READ
+        # Lazy protocols expose the coalescing buffer's word map so the
+        # steady-state write path (RW line, live entry) stays inline.
+        self._wt_words = None
+
+    def set_program(self, gen: Iterator) -> None:
+        self._gen = gen
+        if self.node.cbuf is not None:
+            self._wt_words = self.node.cbuf.words
+
+    def start(self) -> None:
+        self.sim.at(0, self.run_quantum)
+
+    # -- blocking ------------------------------------------------------------------
+
+    def block(self, t: int, bucket: int) -> None:
+        assert not self.blocked, f"proc {self.id} double-blocked"
+        self.blocked = True
+        self._block_t = t
+        self._block_bucket = bucket
+
+    def unblock(self, t: int) -> None:
+        """Resume execution at time ``t``.
+
+        ``t`` may be earlier than the blocking time: the CPU runs up to a
+        quantum ahead of the global clock, so a resource can free (in
+        global time) before the CPU's local clock reached the stall.  In
+        that case the stall was zero cycles long.
+        """
+        assert self.blocked, f"proc {self.id} unblocked while running"
+        self.blocked = False
+        if t < self._block_t:
+            t = self._block_t
+        stall = t - self._block_t
+        st = self.stats
+        b = self._block_bucket
+        if b == B_READ:
+            st.read_stall += stall
+        elif b == B_WB:
+            st.wb_stall += stall
+        else:
+            st.sync_stall += stall
+        if t <= self.sim.now:
+            self.sim.at(self.sim.now, self.run_quantum)
+        else:
+            self.sim.at(t, self.run_quantum)
+
+    def complete_pending_write(self) -> None:
+        """Mark the blocked write op as performed (SC ownership grant).
+
+        Under SC the write must be bound to the ownership grant: if the
+        CPU merely retried it, a racing invalidation could beat the retry
+        every time and livelock two writers of the same line.  The caller
+        grants ownership, installs/upgrades the line, then calls this to
+        consume the pending write; the CPU resumes at the next op.
+        """
+        op = self._pending
+        assert op is not None, "no pending write to complete"
+        kind = op[0]
+        if kind == WRITE:
+            self._pending = None
+        elif kind == WRITE_RUN or kind == RW_RESUME or kind == RW_RUN:
+            _, base, count, stride, i = op
+            nxt = RW_RUN if kind == RW_RESUME else kind
+            self._pending = (nxt, base, count, stride, i + 1)
+        else:
+            raise AssertionError(f"pending op is not a write: {op!r}")
+        self.stats.writes += 1
+
+    def _finish(self, t: int) -> None:
+        self.done = True
+        self.stats.finish_time = t
+        self.machine.proc_finished(self.id, t)
+
+    # -- the quantum runner ----------------------------------------------------------
+
+    def run_quantum(self) -> None:
+        sim = self.sim
+        t = sim.now
+        deadline = t + self._quantum
+        node = self.node
+        cache = node.cache
+        tags = cache.tags
+        states = cache.states
+        mask = cache.set_mask
+        lsh = self._line_shift
+        wmask = self._word_mask
+        stats = self.stats
+        prot = self.protocol
+        gen = self._gen
+        wb = node.wb
+        wb_words = wb.words if wb is not None else None
+        obs = self.machine.classifier
+        my_id = self.id
+
+        pend = self._pending
+        self._pending = None
+
+        while True:
+            if pend is not None:
+                op = pend
+                pend = None
+            else:
+                try:
+                    op = next(gen)
+                except StopIteration:
+                    self._finish(t)
+                    return
+            kind = op[0]
+
+            if kind == READ:
+                addr = op[1]
+                block = addr >> lsh
+                s = block & mask
+                stats.reads += 1
+                if tags[s] == block and states[s]:
+                    t += 1
+                elif wb_words is not None and block in wb_words:
+                    t += 1  # read bypasses / forwards from the write buffer
+                else:
+                    stats.read_misses += 1
+                    word = (addr >> 3) & wmask
+                    if obs is not None:
+                        obs.classify_miss(my_id, block, word)
+                    self.block(t, B_READ)
+                    prot.cpu_read_miss(node, t, block)
+                    return
+
+            elif kind == WRITE:
+                addr = op[1]
+                block = addr >> lsh
+                s = block & mask
+                word = (addr >> 3) & wmask
+                if obs is not None:
+                    obs.record_write(my_id, block, word)
+                if tags[s] == block and states[s] == 2:
+                    wt = self._wt_words
+                    if wt is None:
+                        stats.writes += 1
+                        t += 1
+                    else:
+                        ws = wt.get(block)
+                        if ws is not None:
+                            ws.add(word)
+                            stats.writes += 1
+                            t += 1
+                        else:
+                            t = prot.cpu_write(node, t, block, word)
+                            stats.writes += 1
+                else:
+                    nt = prot.cpu_write(node, t, block, word)
+                    if nt < 0:
+                        self._pending = op
+                        self.block(t, B_WB)
+                        return
+                    stats.writes += 1
+                    t = nt
+
+            elif kind == READ_RUN or kind == WRITE_RUN or kind == RW_RUN or kind == RW_RESUME:
+                if len(op) == 5:
+                    _, base, count, stride, i = op
+                else:
+                    _, base, count, stride = op
+                    i = 0
+                # RW_RESUME: continuation of an RW_RUN whose element i has
+                # already performed its read (the fill completed); do the
+                # write for element i, then behave as RW_RUN for the rest.
+                skip_read_once = kind == RW_RESUME
+                if skip_read_once:
+                    kind = RW_RUN
+                is_read = kind == READ_RUN
+                is_rw = kind == RW_RUN
+                addr = base + i * stride
+                while i < count:
+                    block = addr >> lsh
+                    s = block & mask
+                    word = (addr >> 3) & wmask
+                    if (is_read or is_rw) and not skip_read_once:
+                        stats.reads += 1
+                        if tags[s] == block and states[s]:
+                            t += 1
+                        elif wb_words is not None and block in wb_words:
+                            t += 1
+                        else:
+                            stats.read_misses += 1
+                            if obs is not None:
+                                obs.classify_miss(my_id, block, word)
+                            # Resume after the fill: an RW element still
+                            # owes its write; a read element is complete.
+                            if is_rw:
+                                self._pending = (RW_RESUME, base, count, stride, i)
+                            else:
+                                self._pending = (kind, base, count, stride, i + 1)
+                            self.block(t, B_READ)
+                            prot.cpu_read_miss(node, t, block)
+                            return
+                    skip_read_once = False
+                    if not is_read:  # WRITE_RUN or RW_RUN: write this element
+                        if obs is not None:
+                            obs.record_write(my_id, block, word)
+                        if tags[s] == block and states[s] == 2:
+                            wt = self._wt_words
+                            if wt is None:
+                                stats.writes += 1
+                                t += 1
+                            else:
+                                ws = wt.get(block)
+                                if ws is not None:
+                                    ws.add(word)
+                                    stats.writes += 1
+                                    t += 1
+                                else:
+                                    t = prot.cpu_write(node, t, block, word)
+                                    stats.writes += 1
+                        else:
+                            nt = prot.cpu_write(node, t, block, word)
+                            if nt < 0:
+                                # Retry this element's write when woken; its
+                                # read (if any) already ran.
+                                self._pending = (
+                                    (RW_RESUME if is_rw else kind),
+                                    base,
+                                    count,
+                                    stride,
+                                    i,
+                                )
+                                self.block(t, B_WB)
+                                return
+                            stats.writes += 1
+                            t = nt
+                    i += 1
+                    addr += stride
+                    if t >= deadline and i < count:
+                        self._pending = (kind, base, count, stride, i)
+                        sim.at(t, self.run_quantum)
+                        return
+
+            elif kind == COMPUTE:
+                c = op[1]
+                if t + c <= deadline:
+                    t += c
+                else:
+                    done_now = deadline - t
+                    self._pending = (COMPUTE, c - done_now)
+                    sim.at(deadline, self.run_quantum)
+                    return
+
+            elif kind == ACQUIRE:
+                stats.acquires += 1
+                self.block(t, B_SYNC)
+                prot.cpu_acquire(node, t, op[1])
+                return
+
+            elif kind == RELEASE:
+                stats.releases += 1
+                self.block(t, B_SYNC)
+                prot.cpu_release(node, t, op[1])
+                return
+
+            elif kind == BARRIER:
+                stats.barriers += 1
+                self.block(t, B_SYNC)
+                prot.cpu_barrier(node, t, op[1])
+                return
+
+            elif kind == FENCE:
+                self.block(t, B_SYNC)
+                prot.cpu_fence(node, t)
+                return
+
+            elif kind == SET_FLAG:
+                stats.releases += 1
+                self.block(t, B_SYNC)
+                prot.cpu_set_flag(node, t, op[1])
+                return
+
+            elif kind == WAIT_FLAG:
+                stats.acquires += 1
+                self.block(t, B_SYNC)
+                prot.cpu_wait_flag(node, t, op[1])
+                return
+
+            else:
+                raise ValueError(f"unknown opcode {kind!r}")
+
+            if t >= deadline:
+                self._pending = None
+                sim.at(t, self.run_quantum)
+                return

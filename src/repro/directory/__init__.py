@@ -1,0 +1,37 @@
+"""Distributed directories.
+
+Each node holds the directory slice for the blocks whose home it is.
+Two flavors exist: the MSI directory used by the sequentially consistent
+and eager release consistent protocols, and the Uncached/Shared/Dirty/
+Weak directory of the lazy protocols (Figure 1 of the paper).
+
+The directory classes are *pure state machines*: they mutate caching
+metadata and report what coherence actions the protocol must take
+(who to invalidate, who to notify, whether acknowledgements are owed),
+but they know nothing about timing or messages.  This keeps every
+transition of Figure 1 unit-testable in isolation.
+"""
+
+from repro.directory.entry import (
+    UNCACHED,
+    SHARED,
+    DIRTY,
+    WEAK,
+    LazyEntry,
+    MSIEntry,
+    dir_state_name,
+)
+from repro.directory.lazy import LazyDirectory
+from repro.directory.msi import MSIDirectory
+
+__all__ = [
+    "UNCACHED",
+    "SHARED",
+    "DIRTY",
+    "WEAK",
+    "LazyEntry",
+    "MSIEntry",
+    "LazyDirectory",
+    "MSIDirectory",
+    "dir_state_name",
+]

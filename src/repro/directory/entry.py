@@ -1,0 +1,93 @@
+"""Directory entry records.
+
+Global block states (Section 2):
+
+* ``UNCACHED`` — no processor has a copy (initial state of all blocks).
+* ``SHARED``   — one or more processors cache the block, none writes it.
+* ``DIRTY``    — exactly one processor caches and writes the block.
+* ``WEAK``     — two or more processors cache it, at least one writes it.
+
+(The MSI directory reuses UNCACHED/SHARED/DIRTY with the conventional
+single-writer meaning of DIRTY.)
+
+A lazy entry carries, per the paper, a list of sharer pointers each
+augmented with a *writing* bit and a *notified* bit, plus sharer/writer
+counters (here implied by set sizes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+UNCACHED = 0
+SHARED = 1
+DIRTY = 2
+WEAK = 3
+
+_NAMES = {UNCACHED: "UNCACHED", SHARED: "SHARED", DIRTY: "DIRTY", WEAK: "WEAK"}
+
+
+def dir_state_name(s: int) -> str:
+    return _NAMES[s]
+
+
+class LazyEntry:
+    """Directory entry for the lazy protocols (Figure 1)."""
+
+    __slots__ = ("state", "sharers", "writers", "notified", "pending_acks", "pending_requesters")
+
+    def __init__(self) -> None:
+        self.state: int = UNCACHED
+        self.sharers: Set[int] = set()
+        self.writers: Set[int] = set()
+        self.notified: Set[int] = set()
+        # Ack-collection bookkeeping: the home collects acknowledgements
+        # for outstanding write notices and acknowledges every write
+        # request that arrived meanwhile at once (Section 2: "it allows
+        # us to collect acknowledgments only once when write requests for
+        # the same block arrive from multiple processors").
+        self.pending_acks: int = 0
+        self.pending_requesters: List = []
+
+    @property
+    def n_sharers(self) -> int:
+        return len(self.sharers)
+
+    @property
+    def n_writers(self) -> int:
+        return len(self.writers)
+
+    def recompute_state(self) -> int:
+        """Derive the state from the sharer/writer sets after a removal."""
+        if not self.sharers:
+            self.state = UNCACHED
+        elif not self.writers:
+            self.state = SHARED
+        elif len(self.sharers) == 1:
+            self.state = DIRTY
+        else:
+            self.state = WEAK
+        return self.state
+
+    def __repr__(self) -> str:  # debug aid
+        return (
+            f"LazyEntry({dir_state_name(self.state)}, sharers={sorted(self.sharers)}, "
+            f"writers={sorted(self.writers)}, notified={sorted(self.notified)})"
+        )
+
+
+class MSIEntry:
+    """Directory entry for the SC / eager protocols."""
+
+    __slots__ = ("state", "sharers", "owner")
+
+    def __init__(self) -> None:
+        self.state: int = UNCACHED
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MSIEntry({dir_state_name(self.state)}, sharers={sorted(self.sharers)}, "
+            f"owner={self.owner})"
+        )

@@ -1,0 +1,14 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately tiny: a deterministic time-ordered event queue
+(:mod:`repro.engine.events`), busy-until occupancy resources
+(:mod:`repro.engine.resource`), and the global simulator loop
+(:mod:`repro.engine.simulator`).  Everything protocol- or
+machine-specific lives above this layer.
+"""
+
+from repro.engine.events import EventQueue
+from repro.engine.resource import Resource
+from repro.engine.simulator import Simulator
+
+__all__ = ["EventQueue", "Resource", "Simulator"]

@@ -1,0 +1,46 @@
+"""Deterministic time-ordered event queue.
+
+A thin wrapper over :mod:`heapq` that breaks time ties by insertion order,
+so two runs of the same configuration produce bit-identical schedules —
+a property the test suite checks explicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional, Tuple
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, callback, args)`` events."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: int, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(*args)`` at ``time``.
+
+        Events at equal times fire in insertion (FIFO) order.
+        """
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def pop(self) -> Tuple[int, Callable, tuple]:
+        """Remove and return the earliest ``(time, callback, args)``."""
+        time, _seq, callback, args = heapq.heappop(self._heap)
+        return time, callback, args
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,58 @@
+"""Global simulation loop.
+
+The simulator owns the event queue and the global clock.  Processors and
+protocol components schedule callbacks on it; :meth:`Simulator.run` drains
+events until the queue is empty (all programs finished) or a safety limit
+is reached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.events import EventQueue
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the event queue empties while processors are blocked."""
+
+
+class Simulator:
+    """Event loop with a monotonically non-decreasing global clock."""
+
+    __slots__ = ("queue", "now", "max_cycles", "events_processed")
+
+    def __init__(self, max_cycles: int = 1 << 62) -> None:
+        self.queue = EventQueue()
+        self.now: int = 0
+        self.max_cycles = max_cycles
+        self.events_processed: int = 0
+
+    def at(self, time: int, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time``.
+
+        Scheduling in the past is a programming error and raises.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"event scheduled in the past: {time} < now={self.now}"
+            )
+        self.queue.push(time, callback, *args)
+
+    def after(self, delay: int, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now."""
+        self.queue.push(self.now + delay, callback, *args)
+
+    def run(self) -> int:
+        """Drain the event queue; return the final simulated time."""
+        queue = self.queue
+        while queue:
+            time, callback, args = queue.pop()
+            if time > self.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={self.max_cycles}"
+                )
+            self.now = time
+            callback(*args)
+            self.events_processed += 1
+        return self.now

@@ -1,0 +1,35 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.presets import APP_PRESETS, bench_config, future_config
+from repro.harness.experiments import (
+    run_experiment,
+    table1,
+    table2_miss_classification,
+    table3_miss_rates,
+    figure4_normalized_time,
+    figure5_breakdown,
+    figure6_lazier,
+    figure7_lazier_breakdown,
+    figure8_future,
+    figure9_future_breakdown,
+    sensitivity_sweep,
+    clear_cache,
+)
+
+__all__ = [
+    "APP_PRESETS",
+    "bench_config",
+    "future_config",
+    "run_experiment",
+    "table1",
+    "table2_miss_classification",
+    "table3_miss_rates",
+    "figure4_normalized_time",
+    "figure5_breakdown",
+    "figure6_lazier",
+    "figure7_lazier_breakdown",
+    "figure8_future",
+    "figure9_future_breakdown",
+    "sensitivity_sweep",
+    "clear_cache",
+]

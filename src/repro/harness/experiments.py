@@ -1,0 +1,309 @@
+"""One entry point per table/figure of the paper.
+
+Every function returns both the raw numbers and a formatted text block
+that mirrors the paper's presentation.  Simulation results are cached
+per (app, protocol, machine-kind, n_procs, classify) within the process,
+so the benchmark suite — which regenerates several artifacts from the
+same underlying runs (e.g. Figure 4 and Figure 5) — performs each
+simulation exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps import APPS
+from repro.config import SystemConfig
+from repro.core.machine import Machine, RunResult
+from repro.harness.presets import (
+    APP_LABELS,
+    APP_ORDER,
+    APP_PRESETS,
+    APP_PRESETS_SMALL,
+    bench_config,
+    future_config,
+)
+from repro.stats.classification import CATEGORIES
+
+_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_experiment(
+    app_name: str,
+    protocol: str,
+    kind: str = "default",
+    n_procs: int = 64,
+    classify: bool = False,
+    small: bool = False,
+    **config_over,
+) -> RunResult:
+    """Run (or fetch from cache) one app under one protocol.
+
+    ``kind`` selects the machine: "default" (Table 1 parameters, scaled
+    cache) or "future" (Section 4.3).
+    """
+    key = (app_name, protocol, kind, n_procs, classify, small, tuple(sorted(config_over.items())))
+    hit = _CACHE.get(key)
+    if hit is not None:
+        return hit
+    if kind == "default":
+        cfg = bench_config(n_procs=n_procs, **config_over)
+    elif kind == "future":
+        cfg = future_config(n_procs=n_procs, **config_over)
+    else:
+        raise ValueError(f"unknown machine kind {kind!r}")
+    params = (APP_PRESETS_SMALL if small else APP_PRESETS)[app_name]
+    machine = Machine(cfg, protocol=protocol, classify=classify)
+    app = APPS[app_name](machine, **params)
+    result = machine.run([app.program(p) for p in range(cfg.n_procs)])
+    _CACHE[key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — system parameters
+# ---------------------------------------------------------------------------
+
+def table1() -> str:
+    """Render Table 1 and the Section 3 worked example."""
+    c = SystemConfig.paper()
+    rows = [
+        ("Cache line size", f"{c.line_size} bytes"),
+        ("Cache size", f"{c.cache_size // 1024} Kbytes direct-mapped"),
+        ("Memory setup time", f"{c.mem_setup} cycles"),
+        ("Memory bandwidth", f"{c.mem_bw:g} bytes/cycle"),
+        ("Bus bandwidth", f"{c.bus_bw:g} bytes/cycle"),
+        ("Network bandwidth", f"{c.net_bw:g} bytes/cycle (bidirectional)"),
+        ("Switch node latency", f"{c.switch_latency} cycles"),
+        ("Wire latency", f"{c.wire_latency} cycle"),
+        ("Write Notice Processing", f"{c.notice_cost} cycles"),
+        ("LRC Directory access cost", f"{c.lrc_dir_cost} cycles"),
+        ("ERC Directory access cost", f"{c.erc_dir_cost} cycles"),
+    ]
+    width = max(len(r[0]) for r in rows) + 2
+    lines = ["Table 1: Default values for system parameters", "-" * 60]
+    lines += [f"{k:<{width}}{v}" for k, v in rows]
+    # The worked example: 10-hop fill = 272 cycles.
+    src, dst = 0, 5 * 8 + 5
+    lines.append("-" * 60)
+    lines.append(
+        f"10-hop uncontended cache fill: {c.transit(src, dst, 0)} + "
+        f"{c.memory_time(c.line_size)} + {c.transit(dst, src, c.line_size)} + "
+        f"{c.bus_time(c.line_size)} = {c.line_fill_cost(src, dst)} cycles"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — miss classification under eager release consistency
+# ---------------------------------------------------------------------------
+
+def table2_miss_classification(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
+    data = {}
+    for app in APP_ORDER:
+        r = run_experiment(app, "erc", n_procs=n_procs, classify=True, small=small)
+        data[app] = r.classifier.percentages()
+    lines = [
+        "Table 2: Classification of misses under eager release consistency",
+        f"{'Application':<12} {'Cold':>7} {'True':>7} {'False':>7} {'Evict':>7} {'Write':>7}",
+    ]
+    for app in APP_ORDER:
+        p = data[app]
+        lines.append(
+            f"{APP_LABELS[app]:<12} "
+            f"{p['cold']:>6.1f}% {p['true']:>6.1f}% {p['false']:>6.1f}% "
+            f"{p['eviction']:>6.1f}% {p['write']:>6.1f}%"
+        )
+    return data, "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — miss rates under eager / lazy / lazy-ext
+# ---------------------------------------------------------------------------
+
+def table3_miss_rates(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
+    data = {}
+    for app in APP_ORDER:
+        data[app] = {
+            proto: run_experiment(app, proto, n_procs=n_procs, small=small).miss_rate
+            for proto in ("erc", "lrc", "lrc-ext")
+        }
+    lines = [
+        "Table 3: Miss rates for the implementations of release consistency",
+        f"{'Application':<12} {'Eager':>8} {'Lazy':>8} {'Lazy-ext':>9}",
+    ]
+    for app in APP_ORDER:
+        d = data[app]
+        lines.append(
+            f"{APP_LABELS[app]:<12} {d['erc']*100:>7.2f}% {d['lrc']*100:>7.2f}% "
+            f"{d['lrc-ext']*100:>8.2f}%"
+        )
+    return data, "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figures 4/6/8 — normalized execution time
+# ---------------------------------------------------------------------------
+
+def _normalized_times(
+    protocols: List[str], kind: str, n_procs: int, small: bool
+) -> Dict[str, Dict[str, float]]:
+    data: Dict[str, Dict[str, float]] = {}
+    for app in APP_ORDER:
+        sc = run_experiment(app, "sc", kind=kind, n_procs=n_procs, small=small)
+        row = {"sc": 1.0}
+        for proto in protocols:
+            r = run_experiment(app, proto, kind=kind, n_procs=n_procs, small=small)
+            row[proto] = r.exec_time / sc.exec_time
+        data[app] = row
+    return data
+
+
+def _render_times(title: str, data: Dict, protocols: List[str]) -> str:
+    lines = [title, f"{'Application':<12}" + "".join(f"{p:>10}" for p in protocols)]
+    for app in APP_ORDER:
+        lines.append(
+            f"{APP_LABELS[app]:<12}"
+            + "".join(f"{data[app][p]:>10.3f}" for p in protocols)
+        )
+    lines.append("(execution time normalized to the sequentially consistent protocol)")
+    return "\n".join(lines)
+
+
+def figure4_normalized_time(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
+    data = _normalized_times(["erc", "lrc"], "default", n_procs, small)
+    return data, _render_times(
+        f"Figure 4: Normalized execution time, lazy vs eager RC ({n_procs} processors)",
+        data,
+        ["erc", "lrc"],
+    )
+
+
+def figure6_lazier(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
+    data = _normalized_times(["lrc", "lrc-ext"], "default", n_procs, small)
+    return data, _render_times(
+        f"Figure 6: Normalized execution time, lazy vs lazy-extended ({n_procs} processors)",
+        data,
+        ["lrc", "lrc-ext"],
+    )
+
+
+def figure8_future(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
+    data = _normalized_times(["erc", "lrc", "lrc-ext"], "future", n_procs, small)
+    return data, _render_times(
+        "Figure 8: Performance trends on the future machine "
+        "(40-cycle setup, 4 B/cycle, 256-byte lines)",
+        data,
+        ["erc", "lrc", "lrc-ext"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 5/7/9 — overhead breakdowns
+# ---------------------------------------------------------------------------
+
+def _breakdowns(
+    protocols: List[str], kind: str, n_procs: int, small: bool
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for app in APP_ORDER:
+        sc = run_experiment(app, "sc", kind=kind, n_procs=n_procs, small=small)
+        base = sc.stats.total_cycles
+        data[app] = {
+            proto: run_experiment(
+                app, proto, kind=kind, n_procs=n_procs, small=small
+            ).stats.breakdown_normalized(base)
+            for proto in protocols
+        }
+    return data
+
+
+def _render_breakdown(title: str, data: Dict, protocols: List[str]) -> str:
+    lines = [
+        title,
+        f"{'Application':<12}{'proto':>9}{'cpu':>8}{'read':>8}{'write':>8}{'sync':>8}{'total':>8}",
+    ]
+    for app in APP_ORDER:
+        for proto in protocols:
+            b = data[app][proto]
+            total = sum(b.values())
+            lines.append(
+                f"{APP_LABELS[app]:<12}{proto:>9}"
+                f"{b['cpu']:>8.3f}{b['read']:>8.3f}{b['write']:>8.3f}{b['sync']:>8.3f}{total:>8.3f}"
+            )
+    lines.append("(aggregate cycles per bucket as a fraction of the SC protocol's total)")
+    return "\n".join(lines)
+
+
+def figure5_breakdown(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
+    protos = ["lrc", "erc", "sc"]
+    data = _breakdowns(protos, "default", n_procs, small)
+    return data, _render_breakdown(
+        f"Figure 5: Overhead analysis, lazy / eager / SC ({n_procs} processors)",
+        data,
+        protos,
+    )
+
+
+def figure7_lazier_breakdown(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
+    protos = ["lrc", "lrc-ext", "sc"]
+    data = _breakdowns(protos, "default", n_procs, small)
+    return data, _render_breakdown(
+        f"Figure 7: Overhead analysis, lazy / lazy-extended / SC ({n_procs} processors)",
+        data,
+        protos,
+    )
+
+
+def figure9_future_breakdown(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
+    protos = ["lrc", "lrc-ext", "erc", "sc"]
+    data = _breakdowns(protos, "future", n_procs, small)
+    return data, _render_breakdown(
+        "Figure 9: Overhead analysis on the future machine "
+        "(lazy / lazier / eager / SC)",
+        data,
+        protos,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 4.3 text — latency / bandwidth / line-size sensitivity
+# ---------------------------------------------------------------------------
+
+def sensitivity_sweep(
+    app: str = "mp3d",
+    n_procs: int = 16,
+    small: bool = False,
+) -> Tuple[List[Dict], str]:
+    """The text's parameter sweeps: vary memory latency, bandwidth and
+    cache line size; report the lazy/eager execution-time ratio."""
+    variants = [
+        ("baseline", {}),
+        ("2x memory latency", {"mem_setup": 40}),
+        ("2x bandwidth", {"mem_bw": 4.0, "net_bw": 4.0, "bus_bw": 4.0}),
+        ("64-byte lines", {"line_size": 64}),
+        ("256-byte lines", {"line_size": 256}),
+    ]
+    rows = []
+    for label, over in variants:
+        erc = run_experiment(app, "erc", n_procs=n_procs, small=small, **over)
+        lrc = run_experiment(app, "lrc", n_procs=n_procs, small=small, **over)
+        rows.append(
+            {
+                "variant": label,
+                "ratio": lrc.exec_time / erc.exec_time,
+                "erc": erc.exec_time,
+                "lrc": lrc.exec_time,
+            }
+        )
+    lines = [
+        f"Sensitivity sweep ({APP_LABELS[app]}, {n_procs} processors): lazy/eager time ratio",
+        f"{'variant':<20}{'lazy/eager':>12}",
+    ]
+    for r in rows:
+        lines.append(f"{r['variant']:<20}{r['ratio']:>12.3f}")
+    return rows, "\n".join(lines)

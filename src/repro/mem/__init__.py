@@ -1,0 +1,5 @@
+"""Main-memory modules (one per node, at each block's home)."""
+
+from repro.mem.dram import MemoryModule
+
+__all__ = ["MemoryModule"]

@@ -1,0 +1,6 @@
+"""Mesh interconnect: topology, message bookkeeping, and the fabric."""
+
+from repro.network.fabric import Fabric
+from repro.network.messages import MessageStats, MsgType
+
+__all__ = ["Fabric", "MessageStats", "MsgType"]

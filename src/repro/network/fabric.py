@@ -1,0 +1,104 @@
+"""The interconnect fabric: endpoint-contended message delivery.
+
+Timing model (Section 3 of the paper):
+
+* transit of a control message  = ``(switch + wire) * hops``
+* transit of a data message     = ``(switch + wire) * hops + size / net_bw``
+* contention is modeled at the sending and receiving network interfaces
+  (serially-occupied resources), not at intermediate switches.
+
+A message injected at time ``t`` starts leaving the source NIC at
+``max(t, nic_out.free_at)``; its tail occupies the NIC for the
+serialization time; it arrives at the destination after the transit
+latency; and it is handed to the destination protocol processor no
+earlier than the receive NIC frees up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.config import SystemConfig
+from repro.engine.resource import Resource
+from repro.engine.simulator import Simulator
+from repro.network.messages import DATA_BEARING, MessageStats, MsgType
+from repro.network.topology import Mesh
+
+
+class Fabric:
+    """Point-to-point message delivery over the mesh.
+
+    Each endpoint has two virtual channels — control and data — so small
+    coherence requests never serialize behind line-sized transfers (the
+    request/reply network split of DASH-class machines).  Contention is
+    modeled within each channel.
+    """
+
+    def __init__(self, config: SystemConfig, sim: Simulator) -> None:
+        self.config = config
+        self.sim = sim
+        self.mesh = Mesh(config)
+        self.stats = MessageStats()
+        n = config.n_procs
+        self.nic_out: List[Resource] = [Resource(f"nic_out[{i}]") for i in range(n)]
+        self.nic_in: List[Resource] = [Resource(f"nic_in[{i}]") for i in range(n)]
+        self.nic_out_ctl: List[Resource] = [
+            Resource(f"nic_out_ctl[{i}]") for i in range(n)
+        ]
+        self.nic_in_ctl: List[Resource] = [
+            Resource(f"nic_in_ctl[{i}]") for i in range(n)
+        ]
+        # Hot-path constants hoisted out of send().
+        self._hop_lat = config.hop_latency
+        self._line = config.line_size
+
+    def payload_size(self, mtype: MsgType) -> int:
+        return self._line if mtype in DATA_BEARING else 0
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        mtype: MsgType,
+        t: int,
+        handler: Callable,
+        *args: Any,
+        size: int = -1,
+    ) -> int:
+        """Send a message; schedule ``handler(deliver_time, *args)``.
+
+        ``size`` overrides the payload size implied by the message type
+        (used by coalescing-buffer flushes, which carry only the dirty
+        words).  Returns the delivery time (for callers that want to
+        chain bookkeeping without waiting for the event).
+        """
+        cfg = self.config
+        if size < 0:
+            size = self._line if mtype in DATA_BEARING else 0
+        occ = cfg.nic_occupancy(size)
+        if src == dst:
+            # Local delivery: no network traversal, only the protocol
+            # processor hand-off (modeled by the handler's own costs).
+            deliver = t
+            self.stats.record(mtype, size, 0)
+        else:
+            hops = self.mesh.hops(src, dst)
+            if size:
+                start = self.nic_out[src].enqueue(t, occ)
+                arrival = start + self._hop_lat * hops + occ
+                deliver = self.nic_in[dst].enqueue(arrival, occ)
+            else:
+                start = self.nic_out_ctl[src].enqueue(t, occ)
+                arrival = start + self._hop_lat * hops
+                deliver = self.nic_in_ctl[dst].enqueue(arrival, occ)
+            self.stats.record(mtype, size, hops)
+        self.sim.at(deliver, handler, deliver, *args)
+        return deliver
+
+    def utilization(self) -> dict:
+        """Per-endpoint busy fractions at the current simulated time."""
+        now = max(self.sim.now, 1)
+        return {
+            "out": [r.busy_cycles / now for r in self.nic_out],
+            "in": [r.busy_cycles / now for r in self.nic_in],
+        }

@@ -1,0 +1,69 @@
+"""Message taxonomy and traffic accounting.
+
+The protocols exchange a small set of message types.  Control messages
+carry only a header (their transit cost is hop latency alone, matching
+the paper's worked example); data messages additionally serialize a
+cache line through the network and the endpoints.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import IntEnum
+
+
+class MsgType(IntEnum):
+    """All message kinds used by the four protocols."""
+
+    READ_REQ = 0          # read miss request to home
+    WRITE_REQ = 1         # write miss / upgrade / write-notice request to home
+    DATA_REPLY = 2        # home -> requester, carries a line
+    ACK = 3               # generic acknowledgment
+    INVALIDATE = 4        # eager: home -> sharer, invalidate now
+    WRITE_NOTICE = 5      # lazy: home -> sharer, invalidate at next acquire
+    FORWARD = 6           # eager: home -> dirty owner, forward request
+    OWNER_DATA = 7        # eager: owner -> requester, 3-hop data leg
+    WRITEBACK = 8         # dirty data back to home (eviction / sharing wb)
+    WRITE_THROUGH = 9     # lazy: coalescing-buffer flush to home memory
+    EVICT_NOTICE = 10     # replacement hint to home (no data)
+    RELINQUISH = 11       # lazy: "no longer caching" after acquire-invalidate
+    LOCK_REQ = 12
+    LOCK_GRANT = 13
+    LOCK_RELEASE = 14
+    BARRIER_ARRIVE = 15
+    BARRIER_EXIT = 16
+
+
+#: Message types that carry a full cache line of payload.
+DATA_BEARING = frozenset(
+    {MsgType.DATA_REPLY, MsgType.OWNER_DATA, MsgType.WRITEBACK}
+)
+
+
+class MessageStats:
+    """Global traffic counters, by message type."""
+
+    __slots__ = ("count", "bytes", "total_hops")
+
+    def __init__(self) -> None:
+        self.count: Counter = Counter()
+        self.bytes: Counter = Counter()
+        self.total_hops: int = 0
+
+    def record(self, mtype: MsgType, size: int, hops: int) -> None:
+        self.count[mtype] += 1
+        self.bytes[mtype] += size
+        self.total_hops += hops
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.count.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def as_dict(self) -> dict:
+        return {
+            MsgType(k).name: (self.count[k], self.bytes[k]) for k in self.count
+        }

@@ -1,0 +1,65 @@
+"""2-D mesh topology with dimension-order routing.
+
+Only hop *counts* matter for timing (the paper models contention at the
+endpoints of a message, not at intermediate switches), but the full
+dimension-order route is exposed for tests and for the optional
+per-switch traffic census used by the network-utilization report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.config import SystemConfig
+
+
+class Mesh:
+    """A ``w x h`` mesh of nodes numbered row-major."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.width, self.height = config.mesh_dims
+        self.n = config.n_procs
+        if self.width * self.height != self.n:
+            raise ValueError("mesh dimensions do not cover all nodes")
+        # Precompute the full hop-count matrix once; it is read on every
+        # message send, so a flat list lookup beats recomputing Manhattan
+        # distance (guide: hoist work out of hot loops).
+        w = self.width
+        self._hops: List[int] = [0] * (self.n * self.n)
+        for s in range(self.n):
+            sx, sy = s % w, s // w
+            base = s * self.n
+            for d in range(self.n):
+                self._hops[base + d] = abs(sx - d % w) + abs(sy - d // w)
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        return self._hops[src * self.n + dst]
+
+    def route(self, src: int, dst: int) -> Iterator[int]:
+        """Dimension-order (X then Y) route, yielding intermediate nodes.
+
+        Yields every node on the path from ``src`` to ``dst`` inclusive.
+        """
+        x, y = self.coords(src)
+        dx, dy = self.coords(dst)
+        yield src
+        while x != dx:
+            x += 1 if dx > x else -1
+            yield self.node_at(x, y)
+        while y != dy:
+            y += 1 if dy > y else -1
+            yield self.node_at(x, y)
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered pairs of distinct nodes."""
+        if self.n == 1:
+            return 0.0
+        total = sum(self._hops)
+        return total / (self.n * (self.n - 1))

@@ -1,0 +1,39 @@
+"""Program-driven front end.
+
+Applications are per-processor Python generators that *execute the real
+algorithm's control flow* and emit its shared-memory reference stream —
+the role MINT plays for the paper.  The op encoding lives in
+:mod:`repro.program.ops`; the shared address space and data-placement
+machinery in :mod:`repro.program.address_space`.
+"""
+
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    FENCE,
+    READ,
+    READ_RUN,
+    RELEASE,
+    RW_RUN,
+    WRITE,
+    WRITE_RUN,
+    op_name,
+)
+from repro.program.address_space import AddressSpace, Segment
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "READ_RUN",
+    "WRITE_RUN",
+    "RW_RUN",
+    "COMPUTE",
+    "ACQUIRE",
+    "RELEASE",
+    "BARRIER",
+    "FENCE",
+    "op_name",
+    "AddressSpace",
+    "Segment",
+]

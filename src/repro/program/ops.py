@@ -1,0 +1,61 @@
+"""Reference-stream op encoding.
+
+Programs yield plain tuples whose first element is one of the integer
+opcodes below.  Tuples (not objects) keep the processor's dispatch loop
+allocation-free on the hot path.
+
+Scalar ops::
+
+    (READ, addr)              read one word at byte address addr
+    (WRITE, addr)             write one word
+    (COMPUTE, cycles)         local computation, no memory references
+    (ACQUIRE, lock_id)        lock acquire (acquire semantics)
+    (RELEASE, lock_id)        lock release (release semantics)
+    (BARRIER, barrier_id)     global barrier (release + acquire semantics)
+    (FENCE,)                  release + acquire semantics without a lock
+
+Run ops (amortize generator overhead over regular loops)::
+
+    (READ_RUN, base, count, stride)    read count words at base + i*stride
+    (WRITE_RUN, base, count, stride)   write count words
+    (RW_RUN, base, count, stride)      read-modify-write count words
+"""
+
+READ = 0
+WRITE = 1
+READ_RUN = 2
+WRITE_RUN = 3
+RW_RUN = 4
+COMPUTE = 5
+#: Internal continuation opcode: an RW_RUN element whose read completed
+#: (miss fill) but whose write is still owed.  Never yielded by programs.
+RW_RESUME = 10
+#: Pairwise (producer/consumer) synchronization: SET_FLAG has release
+#: semantics (prior writes perform first), WAIT_FLAG has acquire
+#: semantics (pending invalidations are processed on the way out).
+SET_FLAG = 11
+WAIT_FLAG = 12
+ACQUIRE = 6
+RELEASE = 7
+BARRIER = 8
+FENCE = 9
+
+_NAMES = {
+    READ: "READ",
+    WRITE: "WRITE",
+    READ_RUN: "READ_RUN",
+    WRITE_RUN: "WRITE_RUN",
+    RW_RUN: "RW_RUN",
+    COMPUTE: "COMPUTE",
+    ACQUIRE: "ACQUIRE",
+    RELEASE: "RELEASE",
+    BARRIER: "BARRIER",
+    FENCE: "FENCE",
+    RW_RESUME: "RW_RESUME",
+    SET_FLAG: "SET_FLAG",
+    WAIT_FLAG: "WAIT_FLAG",
+}
+
+
+def op_name(code: int) -> str:
+    return _NAMES[code]

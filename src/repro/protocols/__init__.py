@@ -1,0 +1,46 @@
+"""The four coherence protocols evaluated in the paper.
+
+* :class:`~repro.protocols.sc.SCProtocol`       — sequentially consistent
+  directory protocol (normalization baseline).
+* :class:`~repro.protocols.erc.ERCProtocol`     — eager release consistency
+  (DASH-like).
+* :class:`~repro.protocols.lrc.LRCProtocol`     — the paper's lazy release
+  consistency for hardware-coherent machines.
+* :class:`~repro.protocols.lrc_ext.LRCExtProtocol` — the lazier variant
+  that defers write notices until release points.
+"""
+
+from repro.protocols.base import Protocol
+from repro.protocols.sc import SCProtocol
+from repro.protocols.erc import ERCProtocol
+from repro.protocols.lrc import LRCProtocol
+from repro.protocols.lrc_ext import LRCExtProtocol
+
+PROTOCOLS = {
+    "sc": SCProtocol,
+    "erc": ERCProtocol,
+    "lrc": LRCProtocol,
+    "lrc-ext": LRCExtProtocol,
+}
+
+
+def make_protocol(name: str, machine) -> Protocol:
+    """Instantiate a protocol by its short name."""
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}"
+        ) from None
+    return cls(machine)
+
+
+__all__ = [
+    "Protocol",
+    "SCProtocol",
+    "ERCProtocol",
+    "LRCProtocol",
+    "LRCExtProtocol",
+    "PROTOCOLS",
+    "make_protocol",
+]

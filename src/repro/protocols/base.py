@@ -1,0 +1,281 @@
+"""Protocol base class: shared plumbing and synchronization machinery.
+
+A protocol implements two halves:
+
+* **CPU side** — hooks called by the processor when the inline fast paths
+  miss: ``cpu_read_miss``, ``cpu_write``, ``cpu_acquire``, ``cpu_release``,
+  ``cpu_barrier``, ``cpu_fence``.
+* **Home side** — message handlers that run at a block's home node and
+  drive the directory state machine.
+
+Locks and barriers are *queued at their home node's protocol processor*
+and are identical across protocols; what differs is hooked through
+``_pre_release`` (what a release must wait for) and
+``_process_pending_invals`` (what an acquire must invalidate).  This is
+exactly the split the paper describes: eager protocols do all coherence
+work before the release completes, lazy protocols postpone invalidations
+to acquires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cache.state import INVALID, RO, RW
+from repro.network.messages import MsgType
+
+
+class Protocol:
+    """Common machinery; concrete protocols override the hooks."""
+
+    name = "base"
+    uses_write_buffer = True     # SC overrides to False
+    write_through = False        # lazy protocols override to True
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.fabric = machine.fabric
+        self.cfg = machine.config
+        self.stats = machine.stats
+        self.home_of = machine.home_of       # block -> home node id
+        self.nodes = machine.nodes
+        self._n = machine.config.n_procs
+
+    # -- construction hooks -------------------------------------------------------
+
+    def make_directory(self):
+        raise NotImplementedError
+
+    def attach_node(self, node) -> None:
+        """Install protocol-specific per-node structures."""
+        raise NotImplementedError
+
+    # -- CPU-side hooks (must be provided by subclasses) ---------------------------
+
+    def cpu_read_miss(self, node, t: int, block: int) -> None:
+        raise NotImplementedError
+
+    def cpu_write(self, node, t: int, block: int, word: int) -> int:
+        raise NotImplementedError
+
+    # -- release/acquire hook defaults (eager semantics) ----------------------------
+
+    def _pre_release(self, node, t: int, cont: Callable) -> None:
+        """Call ``cont(t')`` once the node's previous writes have globally
+        performed.  Default: wait for the write buffer to drain and all
+        outstanding transactions to complete."""
+        if node.out_count == 0 and (node.wb is None or node.wb.empty) and (
+            node.cbuf is None or node.cbuf.empty
+        ):
+            cont(t)
+        else:
+            assert node.release_cb is None, "concurrent releases on one node"
+            node.release_cb = cont
+
+    def _process_pending_invals(self, node, t: int) -> int:
+        """Apply acquire-time invalidations; return the completion time.
+
+        Default (eager protocols): nothing is pending, return ``t``."""
+        return t
+
+    # =====================================================================
+    # Locks
+    # =====================================================================
+
+    def lock_home(self, lock_id: int) -> int:
+        return lock_id % self._n
+
+    def cpu_acquire(self, node, t: int, lock_id: int) -> None:
+        # Start invalidating already-received notices in parallel with the
+        # lock request (Section 2: "much of the latency of this operation
+        # can be hidden behind the latency of the lock acquisition").
+        node.acq_inv_done = self._process_pending_invals(node, t)
+        self.fabric.send(
+            node.id,
+            self.lock_home(lock_id),
+            MsgType.LOCK_REQ,
+            t,
+            self._h_lock_req,
+            lock_id,
+            node.id,
+        )
+
+    def _h_lock_req(self, t: int, lock_id: int, requester: int) -> None:
+        home = self.nodes[self.lock_home(lock_id)]
+        tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
+        st = home.lock_state.get(lock_id)
+        if st is None:
+            st = {"held": False, "queue": []}
+            home.lock_state[lock_id] = st
+        if not st["held"]:
+            st["held"] = True
+            self.fabric.send(
+                home.id, requester, MsgType.LOCK_GRANT, tp, self._h_lock_grant, requester
+            )
+        else:
+            st["queue"].append(requester)
+
+    def _h_lock_grant(self, t: int, requester: int) -> None:
+        node = self.nodes[requester]
+        # Finish invalidations: those started at acquire time may still be
+        # in progress; notices that arrived while waiting are processed now.
+        t2 = t if t >= node.acq_inv_done else node.acq_inv_done
+        t2 = self._process_pending_invals(node, t2)
+        node.proc.unblock(t2)
+
+    def cpu_release(self, node, t: int, lock_id: int) -> None:
+        def done(t2: int) -> None:
+            self.fabric.send(
+                node.id,
+                self.lock_home(lock_id),
+                MsgType.LOCK_RELEASE,
+                t2,
+                self._h_lock_release,
+                lock_id,
+            )
+            node.proc.unblock(t2 + 1)
+
+        self._pre_release(node, t, done)
+
+    def _h_lock_release(self, t: int, lock_id: int) -> None:
+        home = self.nodes[self.lock_home(lock_id)]
+        tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
+        st = home.lock_state[lock_id]
+        if st["queue"]:
+            nxt = st["queue"].pop(0)
+            self.fabric.send(
+                home.id, nxt, MsgType.LOCK_GRANT, tp, self._h_lock_grant, nxt
+            )
+        else:
+            st["held"] = False
+
+    # =====================================================================
+    # Barriers (centralized, at the barrier id's home node)
+    # =====================================================================
+
+    def cpu_barrier(self, node, t: int, barrier_id: int) -> None:
+        def arrived(t2: int) -> None:
+            self.fabric.send(
+                node.id,
+                self.lock_home(barrier_id),
+                MsgType.BARRIER_ARRIVE,
+                t2,
+                self._h_barrier_arrive,
+                barrier_id,
+                node.id,
+            )
+
+        self._pre_release(node, t, arrived)
+
+    def _h_barrier_arrive(self, t: int, barrier_id: int, src: int) -> None:
+        home = self.nodes[self.lock_home(barrier_id)]
+        tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
+        st = home.barrier_state.get(barrier_id)
+        if st is None:
+            st = {"waiters": []}
+            home.barrier_state[barrier_id] = st
+        st["waiters"].append(src)
+        if len(st["waiters"]) == self._n:
+            # Releases go out one at a time through the manager's protocol
+            # processor — the natural serialization skew of a central
+            # barrier.
+            for w in st["waiters"]:
+                tg = home.pp.reserve(tp, self.cfg.lock_mgr_cost)
+                self.fabric.send(
+                    home.id, w, MsgType.BARRIER_EXIT, tg, self._h_barrier_exit, w
+                )
+            st["waiters"] = []
+
+    def _h_barrier_exit(self, t: int, target: int) -> None:
+        node = self.nodes[target]
+        t2 = self._process_pending_invals(node, t)
+        node.proc.unblock(t2)
+
+    # =====================================================================
+    # Flags: pairwise producer/consumer synchronization
+    # =====================================================================
+
+    def cpu_set_flag(self, node, t: int, flag_id: int) -> None:
+        """Release semantics, then set the flag at its home node."""
+
+        def done(t2: int) -> None:
+            self.fabric.send(
+                node.id,
+                self.lock_home(flag_id),
+                MsgType.LOCK_RELEASE,
+                t2,
+                self._h_flag_set,
+                flag_id,
+            )
+            node.proc.unblock(t2 + 1)
+
+        self._pre_release(node, t, done)
+
+    def _h_flag_set(self, t: int, flag_id: int) -> None:
+        home = self.nodes[self.lock_home(flag_id)]
+        tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
+        st = home.lock_state.setdefault(("f", flag_id), {"set": False, "waiters": []})
+        st["set"] = True
+        for w in st["waiters"]:
+            tp = home.pp.reserve(tp, self.cfg.lock_mgr_cost)
+            self.fabric.send(
+                home.id, w, MsgType.LOCK_GRANT, tp, self._h_flag_granted, w
+            )
+        st["waiters"] = []
+
+    def cpu_wait_flag(self, node, t: int, flag_id: int) -> None:
+        """Block until the flag is set; acquire semantics on the way out."""
+        node.acq_inv_done = self._process_pending_invals(node, t)
+        self.fabric.send(
+            node.id,
+            self.lock_home(flag_id),
+            MsgType.LOCK_REQ,
+            t,
+            self._h_flag_wait,
+            flag_id,
+            node.id,
+        )
+
+    def _h_flag_wait(self, t: int, flag_id: int, requester: int) -> None:
+        home = self.nodes[self.lock_home(flag_id)]
+        tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
+        st = home.lock_state.setdefault(("f", flag_id), {"set": False, "waiters": []})
+        if st["set"]:
+            self.fabric.send(
+                home.id, requester, MsgType.LOCK_GRANT, tp, self._h_flag_granted, requester
+            )
+        else:
+            st["waiters"].append(requester)
+
+    def _h_flag_granted(self, t: int, requester: int) -> None:
+        node = self.nodes[requester]
+        t2 = t if t >= node.acq_inv_done else node.acq_inv_done
+        t2 = self._process_pending_invals(node, t2)
+        node.proc.unblock(t2)
+
+    # =====================================================================
+    # Fence: release semantics + acquire semantics, no lock
+    # =====================================================================
+
+    def cpu_fence(self, node, t: int) -> None:
+        def done(t2: int) -> None:
+            t3 = self._process_pending_invals(node, t2)
+            node.proc.unblock(t3)
+
+        self._pre_release(node, t, done)
+
+    # =====================================================================
+    # Shared helpers
+    # =====================================================================
+
+    def _install_line(self, node, t: int, block: int, state: int) -> None:
+        """Install a fill, handling the victim via the protocol hook."""
+        victim = node.cache.victim_of(block)
+        if victim is not None:
+            self.handle_eviction(node, t, victim[0], victim[1])
+        node.cache.install(block, state)
+
+    def handle_eviction(self, node, t: int, vblock: int, vstate: int) -> None:
+        """Protocol-specific replacement handling (hint / writeback)."""
+        raise NotImplementedError

@@ -1,0 +1,161 @@
+"""The lazier protocol variant: write notices deferred to release points.
+
+Section 2: "Under this protocol, the node's protocol processor will
+refrain from sending a write request to a block's home node as long as
+possible.  Notification is sent either when a written block is replaced
+in a processor's cache, or when the processor performs a release
+operation."
+
+Differences from :class:`~repro.protocols.lrc.LRCProtocol`:
+
+* a write to a read-only line upgrades locally and records the block in
+  a bounded per-node *deferred notice* buffer — no message is sent;
+* a write miss fetches the line as a *reader* (the directory does not
+  learn about the writer) and then defers the notice;
+* at a release, every deferred notice is sent; the home runs the usual
+  weak-transition/ack-collection machinery and the release stalls until
+  all final acknowledgements return — this is the synchronization cost
+  that, per the paper's results, usually outweighs the miss-rate benefit;
+* an eviction of a block with a deferred notice sends the notice first
+  (this bounds the buffer and keeps directory processing simple);
+* write requests from several processors that arrive together (e.g. at
+  a barrier) share one ack collection at the home — the combining that
+  makes fft *faster* under this protocol.
+
+Data still flows through the write-through coalescing buffer
+continuously, so home memory stays current; only the *notices* are lazy.
+"""
+
+from __future__ import annotations
+
+from repro.cache.state import INVALID, RO, RW
+from repro.network.messages import MsgType
+from repro.protocols.lrc import LRCProtocol
+
+
+class LRCExtProtocol(LRCProtocol):
+    name = "lrc-ext"
+
+    # ==========================================================================
+    # CPU side
+    # ==========================================================================
+
+    def cpu_write(self, node, t: int, block: int, word: int) -> int:
+        state = node.cache.lookup(block)
+        obs = self.machine.classifier
+        if state == RW:
+            self._cbuf_add(node, t, block, {word})
+            return t + 1
+        if state == RO:
+            node.stats.upgrade_misses += 1
+            if obs is not None:
+                obs.classify_write_upgrade(node.id, block)
+            node.cache.upgrade(block)
+            node.deferred_notices.add(block)
+            self._cbuf_add(node, t, block, {word})
+            return t + 1
+        wb = node.wb
+        existing = wb.contains(block)
+        if not wb.add(block, word):
+            return -1
+        if not existing:
+            node.stats.write_misses += 1
+            if obs is not None:
+                obs.classify_miss(node.id, block, word)
+            self._issue_write_fetch(node, t, block)
+        return t + 1
+
+    def _issue_write_fetch(self, node, t: int, block: int) -> None:
+        """Fetch the line as a *reader*; the write notice stays deferred."""
+        node.wb_fetching.add(block)
+        node.txn_start()
+        self.fabric.send(
+            node.id,
+            self.home_of(block),
+            MsgType.READ_REQ,
+            t,
+            self._h_write_fetch_req,
+            block,
+            node.id,
+        )
+
+    def _h_write_fetch_req(self, t: int, block: int, requester: int) -> None:
+        home = self.nodes[self.home_of(block)]
+        tp = home.pp.reserve(t, self.cfg.lrc_dir_cost)
+        out = home.directory.read(block, requester)
+        tm = home.mem.read(t, self.cfg.line_size)
+        treply = tp if tp > tm else tm
+        td = treply
+        for w in out.notices_to:
+            td = home.pp.reserve(td, self.cfg.notice_cost)
+            self.stats.notices_sent += 1
+            self.fabric.send(
+                home.id, w, MsgType.WRITE_NOTICE, td, self._h_notice_info, block, w
+            )
+        self.fabric.send(
+            home.id,
+            requester,
+            MsgType.DATA_REPLY,
+            treply,
+            self._h_write_fetch_fill,
+            block,
+            requester,
+            out.weak_for_reader,
+        )
+
+    def _h_write_fetch_fill(self, t: int, block: int, requester: int, weak: bool) -> None:
+        node = self.nodes[requester]
+        t_fill = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
+        self._install_line(node, t_fill, block, RW)
+        node.wb_fetching.discard(block)
+        node.deferred_notices.add(block)
+        if weak:
+            node.pending_inval.add(block)
+        self._retire_ready_wb(node, t_fill)
+        node.txn_done(t_fill)
+
+    # ==========================================================================
+    # Release: post the deferred notices, then wait for everything
+    # ==========================================================================
+
+    def _pre_release(self, node, t: int, cont) -> None:
+        deferred = node.deferred_notices
+        if deferred:
+            pp = node.pp
+            cost = self.cfg.notice_cost
+            ts = t
+            for block in sorted(deferred):
+                ts = pp.reserve(ts, cost)
+                self.stats.deferred_notices += 1
+                self._send_write_notice(node, ts, block, has_copy=True)
+            deferred.clear()
+        super()._pre_release(node, t, cont)
+
+    # ==========================================================================
+    # Acquire invalidations: a deferred notice must be posted before the
+    # line can be relinquished, or the writes would never be announced.
+    # ==========================================================================
+
+    def _process_pending_invals(self, node, t: int) -> int:
+        if node.pending_inval:
+            overlap = node.pending_inval & node.deferred_notices
+            for block in sorted(overlap):
+                self.stats.deferred_notices += 1
+                self._send_write_notice(node, t, block, has_copy=True)
+                node.deferred_notices.discard(block)
+        return super()._process_pending_invals(node, t)
+
+    # ==========================================================================
+    # Evictions flush the deferred notice first
+    # ==========================================================================
+
+    def handle_eviction(self, node, t: int, vblock: int, vstate: int) -> None:
+        if vblock in node.deferred_notices:
+            node.deferred_notices.discard(vblock)
+            self.stats.deferred_notices += 1
+            # The notice (write request) travels ahead of the eviction
+            # hint on the same source->home path, so the home registers
+            # the write, runs its notice/ack machinery, and only then
+            # removes the evictor from the sharer set.
+            self._send_write_notice(node, t, vblock, has_copy=True)
+        super().handle_eviction(node, t, vblock, vstate)

@@ -1,0 +1,306 @@
+"""Home-side machinery shared by the SC and eager RC protocols.
+
+Implements the DASH-style MSI directory transactions:
+
+* 2-hop reads from memory, 3-hop reads forwarded to a dirty owner (who
+  supplies the data and a sharing writeback),
+* writes that invalidate sharers (home collects the acknowledgements and
+  then grants ownership) or forward a flush-invalidate to a dirty owner,
+* per-block serialization at the home: a request for a block with an
+  open transaction is queued and replayed when the transaction completes
+  (the role the RAC/busy states play in DASH).
+
+Requester-side completion differs between SC (unblock the CPU) and ERC
+(retire the write-buffer head), so it is routed through the overridable
+``_read_fill_done`` / ``_write_grant`` hooks.
+"""
+
+from __future__ import annotations
+
+from repro.cache.state import INVALID, RO, RW
+from repro.network.messages import MsgType
+
+
+class MSIHomeMixin:
+    """Mixin over :class:`~repro.protocols.base.Protocol`."""
+
+    dir_cost_attr = "erc_dir_cost"
+
+    def _dir_cost(self) -> int:
+        return getattr(self.cfg, self.dir_cost_attr)
+
+    # -- home-side busy/queue -----------------------------------------------------
+
+    def _home_defer(self, home, block: int, kind: str, *args) -> bool:
+        """Queue the request if the block has an open transaction.
+
+        Requests also queue behind an existing queue (even if the block
+        just went idle) so that deferred requests are served in arrival
+        order.
+        """
+        if block in home.home_busy or home.home_queue.get(block):
+            home.home_queue.setdefault(block, []).append((kind, args))
+            return True
+        return False
+
+    def _home_unbusy(self, home, t: int, block: int) -> None:
+        home.home_busy.discard(block)
+        # Replay deferred requests until one re-opens a transaction (sets
+        # busy again) or the queue drains; a synchronously-served request
+        # (plain 2-hop read) must not strand the ones behind it.
+        q = home.home_queue.get(block)
+        while q and block not in home.home_busy:
+            kind, args = q.pop(0)
+            if kind == "read":
+                self._do_read_req(t, block, *args)
+            else:
+                self._do_write_req(t, block, *args)
+        if not q:
+            home.home_queue.pop(block, None)
+
+    # -- reads ------------------------------------------------------------------------
+
+    def _h_read_req(self, t: int, block: int, requester: int) -> None:
+        home = self.nodes[self.home_of(block)]
+        if self._home_defer(home, block, "read", requester):
+            return
+        self._do_read_req(t, block, requester)
+
+    def _do_read_req(self, t: int, block: int, requester: int) -> None:
+        home = self.nodes[self.home_of(block)]
+        tp = home.pp.reserve(t, self._dir_cost())
+        out = home.directory.read(block, requester)
+        if out.forward_to is not None:
+            # 3-hop: the dirty owner supplies the line.
+            self.stats.three_hop_reads += 1
+            home.home_busy.add(block)
+            self.fabric.send(
+                home.id,
+                out.forward_to,
+                MsgType.FORWARD,
+                tp,
+                self._h_forward_read,
+                block,
+                out.forward_to,
+                requester,
+            )
+        else:
+            # Directory processing is hidden behind the memory access
+            # (Section 3): both start when the request arrives.
+            tm = home.mem.read(t, self.cfg.line_size)
+            self.fabric.send(
+                home.id,
+                requester,
+                MsgType.DATA_REPLY,
+                tp if tp > tm else tm,
+                self._h_read_data,
+                block,
+                requester,
+            )
+
+    def _h_forward_read(self, t: int, block: int, owner: int, requester: int) -> None:
+        onode = self.nodes[owner]
+        tp = onode.pp.reserve(t, self.cfg.notice_cost)
+        # Reading the line out of the owner's cache occupies its local bus
+        # for a full line transfer (this is why dirty-remote reads cost
+        # more than clean ones on DASH-class machines).
+        tp = onode.bus.reserve(tp, self.cfg.bus_time(self.cfg.line_size))
+        # The owner keeps a read-only copy (MSI sharing transition).  If
+        # the line raced away via an eviction whose hint is still in
+        # flight, the owner still plays its protocol role — only state,
+        # not data values, is simulated.
+        onode.cache.downgrade(block)
+        self.fabric.send(
+            onode.id, requester, MsgType.OWNER_DATA, tp, self._h_read_data, block, requester
+        )
+        home = self.nodes[self.home_of(block)]
+        self.fabric.send(
+            onode.id, home.id, MsgType.WRITEBACK, tp, self._h_sharing_wb, block
+        )
+
+    def _h_sharing_wb(self, t: int, block: int) -> None:
+        home = self.nodes[self.home_of(block)]
+        home.mem.write(t, self.cfg.line_size)
+        self.stats.writebacks += 1
+        self._home_unbusy(home, t, block)
+
+    def _h_read_data(self, t: int, block: int, requester: int) -> None:
+        node = self.nodes[requester]
+        t_fill = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
+        self._install_line(node, t_fill, block, RO)
+        self._read_fill_done(node, t_fill, block)
+
+    def _read_fill_done(self, node, t: int, block: int) -> None:
+        """Requester-side read completion (default: resume the CPU)."""
+        node.proc.unblock(t)
+
+    # -- writes ------------------------------------------------------------------------
+
+    def _h_write_req(self, t: int, block: int, requester: int, has_copy: bool) -> None:
+        home = self.nodes[self.home_of(block)]
+        if self._home_defer(home, block, "write", requester, has_copy):
+            return
+        self._do_write_req(t, block, requester, has_copy)
+
+    def _do_write_req(self, t: int, block: int, requester: int, has_copy: bool) -> None:
+        home = self.nodes[self.home_of(block)]
+        tp = home.pp.reserve(t, self._dir_cost())
+        out = home.directory.write(block, requester, has_copy)
+        if out.forward_to is not None:
+            home.home_busy.add(block)
+            self.fabric.send(
+                home.id,
+                out.forward_to,
+                MsgType.FORWARD,
+                tp,
+                self._h_forward_write,
+                block,
+                out.forward_to,
+                requester,
+            )
+        elif out.invalidate:
+            home.home_busy.add(block)
+            home.msi_pending[block] = {
+                "count": len(out.invalidate),
+                "requester": requester,
+                "needs_data": out.needs_data,
+            }
+            # Dispatching each invalidation occupies the home's protocol
+            # processor briefly ("the cost is the sum of the directory
+            # access and the dispatch of messages to the sharing
+            # processors").
+            td = tp
+            for s in out.invalidate:
+                td = home.pp.reserve(td, self.cfg.notice_cost)
+                self.fabric.send(
+                    home.id, s, MsgType.INVALIDATE, td, self._h_inval, block, s
+                )
+        else:
+            self._send_write_grant(home, t, tp, block, requester, out.needs_data)
+
+    def _send_write_grant(
+        self, home, t_arrival: int, tp: int, block: int, requester: int, needs_data: bool
+    ) -> None:
+        if needs_data:
+            tm = home.mem.read(t_arrival, self.cfg.line_size)
+            self.fabric.send(
+                home.id,
+                requester,
+                MsgType.DATA_REPLY,
+                tp if tp > tm else tm,
+                self._h_write_grant_msg,
+                block,
+                requester,
+                True,
+            )
+        else:
+            self.fabric.send(
+                home.id,
+                requester,
+                MsgType.ACK,
+                tp,
+                self._h_write_grant_msg,
+                block,
+                requester,
+                False,
+            )
+
+    def _h_forward_write(self, t: int, block: int, owner: int, requester: int) -> None:
+        onode = self.nodes[owner]
+        tp = onode.pp.reserve(t, self.cfg.notice_cost)
+        tp = onode.bus.reserve(tp, self.cfg.bus_time(self.cfg.line_size))
+        if onode.cache.invalidate(block):
+            self.stats.eager_invalidations += 1
+            if self.machine.classifier is not None:
+                self.machine.classifier.record_invalidation(owner, block)
+        self.fabric.send(
+            onode.id,
+            requester,
+            MsgType.OWNER_DATA,
+            tp,
+            self._h_write_grant_msg,
+            block,
+            requester,
+            True,
+        )
+        home = self.nodes[self.home_of(block)]
+        self.fabric.send(
+            onode.id, home.id, MsgType.ACK, tp, self._h_ownership_transferred, block
+        )
+
+    def _h_ownership_transferred(self, t: int, block: int) -> None:
+        home = self.nodes[self.home_of(block)]
+        self._home_unbusy(home, t, block)
+
+    def _h_inval(self, t: int, block: int, target: int) -> None:
+        tnode = self.nodes[target]
+        tp = tnode.pp.reserve(t, self.cfg.notice_cost)
+        if tnode.cache.invalidate(block):
+            self.stats.eager_invalidations += 1
+            if self.machine.classifier is not None:
+                self.machine.classifier.record_invalidation(target, block)
+        home = self.nodes[self.home_of(block)]
+        self.fabric.send(
+            tnode.id, home.id, MsgType.ACK, tp, self._h_inval_ack, block
+        )
+
+    def _h_inval_ack(self, t: int, block: int) -> None:
+        home = self.nodes[self.home_of(block)]
+        rec = home.msi_pending[block]
+        rec["count"] -= 1
+        if rec["count"] == 0:
+            del home.msi_pending[block]
+            tp = home.pp.reserve(t, self.cfg.notice_cost)
+            self._send_write_grant(
+                home, t, tp, block, rec["requester"], rec["needs_data"]
+            )
+            self._home_unbusy(home, tp, block)
+
+    def _h_write_grant_msg(self, t: int, block: int, requester: int, with_data: bool) -> None:
+        node = self.nodes[requester]
+        if with_data:
+            t = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
+            self._install_line(node, t, block, RW)
+        else:
+            if node.cache.resident(block):
+                node.cache.upgrade(block)
+            else:
+                # The line was evicted while the upgrade was in flight
+                # (hint still traveling); re-install it exclusively.
+                self._install_line(node, t, block, RW)
+        self._write_grant(node, t, block)
+
+    def _write_grant(self, node, t: int, block: int) -> None:
+        """Requester-side write completion.  Overridden per protocol."""
+        raise NotImplementedError
+
+    # -- evictions -----------------------------------------------------------------------
+
+    def handle_eviction(self, node, t: int, vblock: int, vstate: int) -> None:
+        if self.machine.classifier is not None:
+            self.machine.classifier.record_eviction(node.id, vblock)
+        home_id = self.home_of(vblock)
+        if vstate == RW:
+            self.stats.writebacks += 1
+            self.fabric.send(
+                node.id, home_id, MsgType.WRITEBACK, t, self._h_evict_wb, vblock, node.id
+            )
+        else:
+            self.fabric.send(
+                node.id,
+                home_id,
+                MsgType.EVICT_NOTICE,
+                t,
+                self._h_evict_hint,
+                vblock,
+                node.id,
+            )
+
+    def _h_evict_wb(self, t: int, block: int, src: int) -> None:
+        home = self.nodes[self.home_of(block)]
+        home.mem.write(t, self.cfg.line_size)
+        home.directory.evict(block, src, dirty=True)
+
+    def _h_evict_hint(self, t: int, block: int, src: int) -> None:
+        home = self.nodes[self.home_of(block)]
+        home.directory.evict(block, src, dirty=False)

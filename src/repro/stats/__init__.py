@@ -1,0 +1,22 @@
+"""Statistics: cycle buckets, miss classification, and report formatting."""
+
+from repro.stats.counters import MachineStats, ProcStats
+from repro.stats.classification import (
+    COLD,
+    EVICTION,
+    FALSE_SHARING,
+    TRUE_SHARING,
+    WRITE_MISS,
+    MissClassifier,
+)
+
+__all__ = [
+    "ProcStats",
+    "MachineStats",
+    "MissClassifier",
+    "COLD",
+    "TRUE_SHARING",
+    "FALSE_SHARING",
+    "EVICTION",
+    "WRITE_MISS",
+]

@@ -1,0 +1,114 @@
+"""Miss classification (Table 2 of the paper).
+
+Implements a word-granularity classification in the spirit of Bianchini &
+Kontothanassis, "Algorithms for Categorizing Multiprocessor Communication
+under Invalidate and Update-Based Coherence Protocols" (the paper's
+reference [3]):
+
+* **cold**    — the processor's first-ever access to the block.
+* **eviction**— the line was lost to a capacity/conflict replacement.
+* **true**   — the line was lost to a coherence invalidation and the word
+  being accessed was written by another processor since the loss.
+* **false**  — the line was lost to a coherence invalidation but the word
+  being accessed was *not* written by another processor since the loss —
+  the invalidation was an artifact of block granularity.
+* **write**  — a write to a block present in the cache read-only
+  ("they do not result in data transfers, since they occur when a block
+  is already present in the cache but the processor does not have
+  permission to write it").
+
+The classifier is an optional observer: when detached, the simulator's
+hot paths pay a single ``is None`` test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+COLD = "cold"
+TRUE_SHARING = "true"
+FALSE_SHARING = "false"
+EVICTION = "eviction"
+WRITE_MISS = "write"
+
+CATEGORIES = (COLD, TRUE_SHARING, FALSE_SHARING, EVICTION, WRITE_MISS)
+
+# Loss causes recorded when a processor loses a line.
+LOST_EVICTION = 0
+LOST_INVALIDATION = 1
+
+
+class MissClassifier:
+    """Word-granularity miss classifier (observer)."""
+
+    def __init__(self) -> None:
+        # (block, word) -> (writer, seq) of the last write, any processor.
+        self._last_write: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._seq = 0
+        # (proc, block) -> (loss_cause, seq_at_loss).  Presence of the key
+        # also means "proc has accessed this block before" (cold test).
+        self._loss: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self.counts: Dict[str, int] = {c: 0 for c in CATEGORIES}
+
+    # -- write tracking (called on every simulated write) ----------------------
+
+    def record_write(self, proc: int, block: int, word: int) -> None:
+        self._seq += 1
+        self._last_write[(block, word)] = (proc, self._seq)
+
+    def record_write_run(self, proc: int, block_words) -> None:
+        """Batch variant: iterable of (block, word) pairs."""
+        for bw in block_words:
+            self._seq += 1
+            self._last_write[bw] = (proc, self._seq)
+
+    # -- loss tracking -----------------------------------------------------------
+
+    def record_eviction(self, proc: int, block: int) -> None:
+        self._loss[(proc, block)] = (LOST_EVICTION, self._seq)
+
+    def record_invalidation(self, proc: int, block: int) -> None:
+        self._loss[(proc, block)] = (LOST_INVALIDATION, self._seq)
+
+    # -- miss classification -------------------------------------------------------
+
+    def classify_miss(self, proc: int, block: int, word: int) -> str:
+        """Classify a data-transfer miss by ``proc`` on ``(block, word)``."""
+        key = (proc, block)
+        loss = self._loss.get(key)
+        if loss is None:
+            self.counts[COLD] += 1
+            # Mark the block as seen so the next loss-free miss (none
+            # should occur, but runs can be resumed) is not cold again.
+            self._loss[key] = (LOST_EVICTION, -1)
+            return COLD
+        cause, seq_at_loss = loss
+        if cause == LOST_EVICTION:
+            self.counts[EVICTION] += 1
+            return EVICTION
+        lw = self._last_write.get((block, word))
+        if lw is not None and lw[0] != proc and lw[1] > seq_at_loss:
+            self.counts[TRUE_SHARING] += 1
+            return TRUE_SHARING
+        self.counts[FALSE_SHARING] += 1
+        return FALSE_SHARING
+
+    def classify_write_upgrade(self, proc: int, block: int) -> str:
+        """A write to a read-only cached block (no data transfer)."""
+        self.counts[WRITE_MISS] += 1
+        # Ensure the cold test sees the block as touched.
+        self._loss.setdefault((proc, block), (LOST_EVICTION, -1))
+        return WRITE_MISS
+
+    # -- reporting ------------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def percentages(self) -> Dict[str, float]:
+        """Each category as a percentage of all misses (Table 2 rows)."""
+        t = self.total
+        if t == 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {c: 100.0 * self.counts[c] / t for c in CATEGORIES}

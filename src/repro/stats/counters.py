@@ -1,0 +1,140 @@
+"""Per-processor and machine-wide counters.
+
+The execution-time breakdown of Figures 5/7/9 divides each processor's
+cycles into four buckets:
+
+* **cpu**   — instruction execution (one cycle per memory reference plus
+  explicit COMPUTE cycles),
+* **read**  — stall cycles waiting for read misses,
+* **write** — write-buffer stalls (buffer full; under SC, write-miss
+  stalls, since SC has no write buffer),
+* **sync**  — lock acquisition waits, barrier waits, release-completion
+  waits, and acquire-time invalidation processing.
+
+``cpu`` is derived: ``finish_time - (read + write + sync)``, which is
+exact because a processor is, at every cycle, either executing or
+blocked in exactly one bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class ProcStats:
+    """Counters for one processor."""
+
+    __slots__ = (
+        "finish_time",
+        "read_stall",
+        "wb_stall",
+        "sync_stall",
+        "reads",
+        "writes",
+        "read_misses",
+        "write_misses",
+        "upgrade_misses",
+        "acquires",
+        "releases",
+        "barriers",
+        "acquire_invalidations",
+    )
+
+    def __init__(self) -> None:
+        self.finish_time = 0
+        self.read_stall = 0
+        self.wb_stall = 0
+        self.sync_stall = 0
+        self.reads = 0
+        self.writes = 0
+        self.read_misses = 0
+        self.write_misses = 0      # write misses requiring a data transfer
+        self.upgrade_misses = 0    # write to a block cached read-only
+        self.acquires = 0
+        self.releases = 0
+        self.barriers = 0
+        self.acquire_invalidations = 0
+
+    @property
+    def cpu_cycles(self) -> int:
+        return self.finish_time - self.read_stall - self.wb_stall - self.sync_stall
+
+    @property
+    def references(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses + self.upgrade_misses
+
+    @property
+    def miss_rate(self) -> float:
+        refs = self.references
+        return self.misses / refs if refs else 0.0
+
+
+class MachineStats:
+    """Aggregation over all processors plus protocol-level counters."""
+
+    def __init__(self, n_procs: int) -> None:
+        self.procs: List[ProcStats] = [ProcStats() for _ in range(n_procs)]
+        # Protocol-level event counters.
+        self.notices_sent = 0              # lazy write notices delivered
+        self.eager_invalidations = 0       # eager protocol invalidation msgs
+        self.acquire_invalidations = 0     # lines invalidated at acquires
+        self.write_throughs = 0            # coalescing-buffer flushes
+        self.writebacks = 0                # dirty writebacks (eager/SC)
+        self.three_hop_reads = 0           # reads forwarded to a dirty owner
+        self.deferred_notices = 0          # lazy-ext notices sent at release
+
+    # -- aggregates ---------------------------------------------------------------
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(p, attr) for p in self.procs)
+
+    @property
+    def total_cycles(self) -> int:
+        """Aggregate cycles over all processors (breakdown denominator)."""
+        return self._sum("finish_time")
+
+    @property
+    def exec_time(self) -> int:
+        """Wall-clock execution time: the last processor to finish."""
+        return max(p.finish_time for p in self.procs)
+
+    @property
+    def references(self) -> int:
+        return self._sum("reads") + self._sum("writes")
+
+    @property
+    def misses(self) -> int:
+        return sum(p.misses for p in self.procs)
+
+    @property
+    def miss_rate(self) -> float:
+        refs = self.references
+        return self.misses / refs if refs else 0.0
+
+    def breakdown(self) -> Dict[str, int]:
+        """Aggregate cycles per bucket (Figures 5/7/9)."""
+        return {
+            "cpu": sum(p.cpu_cycles for p in self.procs),
+            "read": self._sum("read_stall"),
+            "write": self._sum("wb_stall"),
+            "sync": self._sum("sync_stall"),
+        }
+
+    def breakdown_normalized(self, baseline_total: int) -> Dict[str, float]:
+        """Breakdown as fractions of a baseline protocol's total cycles."""
+        b = self.breakdown()
+        return {k: v / baseline_total for k, v in b.items()}
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "exec_time": self.exec_time,
+            "total_cycles": self.total_cycles,
+            "references": self.references,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            **self.breakdown(),
+        }

@@ -1,0 +1,46 @@
+"""Small text-table helpers shared by examples and the harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table (right-aligned numeric columns)."""
+    srows: List[List[str]] = [
+        [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        cells = []
+        for i, cell in enumerate(row):
+            if i == 0:
+                cells.append(cell.ljust(widths[i]))
+            else:
+                cells.append(cell.rjust(widths[i]))
+        out.append("  ".join(cells))
+    return "\n".join(out)
+
+
+def breakdown_bar(breakdown: dict, width: int = 50, total: float = None) -> str:
+    """A one-line ASCII stacked bar for a cycle breakdown."""
+    tot = total if total is not None else sum(breakdown.values()) or 1
+    chars = {"cpu": "#", "read": "r", "write": "w", "sync": "s"}
+    bar = ""
+    for k in ("cpu", "read", "write", "sync"):
+        n = int(round(width * breakdown.get(k, 0) / tot))
+        bar += chars[k] * n
+    return bar

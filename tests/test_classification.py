@@ -1,0 +1,112 @@
+"""Tests for the Table 2 miss classifier."""
+
+from repro.stats.classification import (
+    CATEGORIES,
+    COLD,
+    EVICTION,
+    FALSE_SHARING,
+    MissClassifier,
+    TRUE_SHARING,
+    WRITE_MISS,
+)
+
+
+class TestClassifier:
+    def test_first_access_is_cold(self):
+        c = MissClassifier()
+        assert c.classify_miss(proc=0, block=1, word=0) == COLD
+
+    def test_second_proc_first_access_also_cold(self):
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        assert c.classify_miss(1, 1, 0) == COLD
+
+    def test_eviction_miss(self):
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        c.record_eviction(0, 1)
+        assert c.classify_miss(0, 1, 0) == EVICTION
+
+    def test_true_sharing(self):
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        c.record_invalidation(0, 1)
+        c.record_write(proc=1, block=1, word=0)  # another proc writes my word
+        assert c.classify_miss(0, 1, 0) == TRUE_SHARING
+
+    def test_false_sharing_different_word(self):
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        c.record_invalidation(0, 1)
+        c.record_write(proc=1, block=1, word=5)  # a different word
+        assert c.classify_miss(0, 1, 0) == FALSE_SHARING
+
+    def test_false_sharing_no_writes_at_all(self):
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        c.record_invalidation(0, 1)
+        assert c.classify_miss(0, 1, 0) == FALSE_SHARING
+
+    def test_own_write_does_not_make_true_sharing(self):
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        c.record_invalidation(0, 1)
+        c.record_write(proc=0, block=1, word=0)  # my own write
+        assert c.classify_miss(0, 1, 0) == FALSE_SHARING
+
+    def test_write_before_loss_is_not_true_sharing(self):
+        c = MissClassifier()
+        c.record_write(proc=1, block=1, word=0)  # happens before the loss
+        c.classify_miss(0, 1, 0)
+        c.record_invalidation(0, 1)
+        assert c.classify_miss(0, 1, 0) == FALSE_SHARING
+
+    def test_write_upgrade_category(self):
+        c = MissClassifier()
+        assert c.classify_write_upgrade(0, 1) == WRITE_MISS
+        assert c.counts[WRITE_MISS] == 1
+
+    def test_upgrade_marks_block_touched(self):
+        c = MissClassifier()
+        c.classify_write_upgrade(0, 1)
+        # Not cold anymore: the block was present (read-only) already.
+        c.record_invalidation(0, 1)
+        c.record_write(1, 1, 0)
+        assert c.classify_miss(0, 1, 0) == TRUE_SHARING
+
+    def test_percentages_sum_to_100(self):
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        c.record_eviction(0, 1)
+        c.classify_miss(0, 1, 0)
+        c.classify_write_upgrade(0, 1)
+        p = c.percentages()
+        assert abs(sum(p.values()) - 100.0) < 1e-9
+        assert set(p) == set(CATEGORIES)
+
+    def test_percentages_empty(self):
+        p = MissClassifier().percentages()
+        assert all(v == 0.0 for v in p.values())
+
+    def test_eviction_takes_precedence_over_foreign_writes(self):
+        # A capacity miss is an eviction miss even if others wrote since:
+        # the processor would have missed regardless of coherence.
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        c.record_eviction(0, 1)
+        c.record_write(1, 1, 0)
+        assert c.classify_miss(0, 1, 0) == EVICTION
+
+    def test_counts_accumulate(self):
+        c = MissClassifier()
+        for b in range(5):
+            c.classify_miss(0, b, 0)
+        assert c.counts[COLD] == 5
+        assert c.total == 5
+
+    def test_per_proc_blocks_independent(self):
+        c = MissClassifier()
+        c.classify_miss(0, 1, 0)
+        c.record_invalidation(0, 1)
+        # proc 1's history with block 1 is separate.
+        assert c.classify_miss(1, 1, 0) == COLD

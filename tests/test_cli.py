@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "gauss" in out and "lrc-ext" in out
+
+
+def test_run_small(capsys):
+    assert main(["run", "mp3d", "--protocol", "lrc", "--procs", "4", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "miss_rate" in out and "exec_time" in out
+
+
+def test_compare_small(capsys):
+    assert main(["compare", "mp3d", "--procs", "4", "--small"]) == 0
+    out = capsys.readouterr().out
+    for proto in ("sc", "erc", "lrc", "lrc-ext"):
+        assert proto in out
+
+
+def test_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["run", "linpack"])
+
+
+def test_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        main(["run", "gauss", "--protocol", "mesi"])

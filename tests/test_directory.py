@@ -1,0 +1,226 @@
+"""Tests for the Figure 1 lazy directory state machine and the MSI directory."""
+
+from repro.directory import (
+    DIRTY,
+    LazyDirectory,
+    MSIDirectory,
+    SHARED,
+    UNCACHED,
+    WEAK,
+)
+
+
+class TestLazyFigure1Transitions:
+    """Every edge of the Figure 1 state diagram."""
+
+    def test_initial_state_uncached(self):
+        d = LazyDirectory()
+        assert d.state_of(1) == UNCACHED
+
+    def test_uncached_read_to_shared(self):
+        d = LazyDirectory()
+        out = d.read(1, reader=0)
+        assert out.state == SHARED
+        assert not out.weak_for_reader
+        assert out.notices_to == []
+
+    def test_uncached_write_to_dirty(self):
+        d = LazyDirectory()
+        out = d.write(1, writer=0, has_copy=False)
+        assert out.state == DIRTY
+        assert out.needs_data
+        assert not out.await_acks
+
+    def test_shared_read_stays_shared(self):
+        d = LazyDirectory()
+        d.read(1, 0)
+        out = d.read(1, 1)
+        assert out.state == SHARED
+
+    def test_sole_sharer_write_to_dirty(self):
+        d = LazyDirectory()
+        d.read(1, 0)
+        out = d.write(1, writer=0, has_copy=True)
+        assert out.state == DIRTY
+        assert not out.needs_data
+        assert out.notices_to == []
+
+    def test_shared_write_to_weak_sends_notices(self):
+        d = LazyDirectory()
+        d.read(1, 0)
+        d.read(1, 1)
+        d.read(1, 2)
+        out = d.write(1, writer=2, has_copy=True)
+        assert out.state == WEAK
+        assert sorted(out.notices_to) == [0, 1]
+        assert out.await_acks
+
+    def test_dirty_read_by_other_to_weak_notifies_writer(self):
+        d = LazyDirectory()
+        d.write(1, writer=0, has_copy=False)
+        out = d.read(1, reader=1)
+        assert out.state == WEAK
+        assert out.notices_to == [0]
+        assert out.weak_for_reader  # reply tells reader block is weak
+
+    def test_dirty_read_by_writer_stays_dirty(self):
+        d = LazyDirectory()
+        d.write(1, writer=0, has_copy=False)
+        out = d.read(1, reader=0)
+        assert out.state == DIRTY
+        assert out.notices_to == []
+
+    def test_dirty_write_by_other_to_weak(self):
+        d = LazyDirectory()
+        d.write(1, writer=0, has_copy=False)
+        out = d.write(1, writer=1, has_copy=False)
+        assert out.state == WEAK
+        assert out.notices_to == [0]
+        assert d.entry(1).writers == {0, 1}
+
+    def test_dirty_write_by_same_writer_stays_dirty(self):
+        d = LazyDirectory()
+        d.write(1, writer=0, has_copy=False)
+        out = d.write(1, writer=0, has_copy=True)
+        assert out.state == DIRTY
+        assert out.notices_to == []
+
+    def test_weak_new_reader_marked_notified_not_renotified(self):
+        d = LazyDirectory()
+        d.read(1, 0)
+        d.read(1, 1)
+        d.write(1, writer=0, has_copy=True)  # -> WEAK, notice to 1
+        out = d.read(1, reader=2)
+        assert out.state == WEAK
+        assert out.weak_for_reader
+        assert out.notices_to == []  # piggybacked on the reply instead
+        # 2 is marked notified.  When 2 then *writes*, the one sharer who
+        # was never notified — the original writer 0, whose copy now may
+        # lack 2's words — gets the (first and only) notice.
+        out2 = d.write(1, writer=2, has_copy=True)
+        assert out2.notices_to == [0]
+        assert out2.weak_for_writer  # two writers now: 2 self-invalidates
+        # Nobody is re-notified on yet another write.
+        out3 = d.write(1, writer=2, has_copy=True)
+        assert out3.notices_to == []
+
+    def test_notified_bit_prevents_duplicate_notices(self):
+        d = LazyDirectory()
+        d.read(1, 0)
+        d.read(1, 1)
+        out1 = d.write(1, writer=0, has_copy=True)
+        assert out1.notices_to == [1]
+        out2 = d.write(1, writer=0, has_copy=True)
+        assert out2.notices_to == []
+
+    def test_multiple_concurrent_writers_allowed(self):
+        d = LazyDirectory()
+        for w in range(4):
+            d.write(1, writer=w, has_copy=False)
+        assert d.entry(1).n_writers == 4
+        assert d.state_of(1) == WEAK
+
+
+class TestLazyDepartures:
+    def test_weak_reverts_to_shared_when_writers_leave(self):
+        d = LazyDirectory()
+        d.read(1, 0)
+        d.read(1, 1)
+        d.write(1, writer=1, has_copy=True)  # WEAK
+        assert d.remove(1, 1) == SHARED
+        assert d.state_of(1) == SHARED
+
+    def test_reverts_to_uncached_when_all_leave(self):
+        d = LazyDirectory()
+        d.read(1, 0)
+        d.read(1, 1)
+        d.remove(1, 0)
+        assert d.remove(1, 1) == UNCACHED
+        # Entry is garbage-collected.
+        assert 1 not in d.entries
+
+    def test_dirty_eviction_to_uncached(self):
+        d = LazyDirectory()
+        d.write(1, writer=0, has_copy=False)
+        assert d.remove(1, 0) == UNCACHED
+
+    def test_weak_multi_writer_stays_weak_after_one_leaves(self):
+        d = LazyDirectory()
+        d.write(1, 0, has_copy=False)
+        d.write(1, 1, has_copy=False)
+        d.read(1, 2)
+        assert d.remove(1, 0) == WEAK  # writer 1 + sharer 2 remain
+
+    def test_remove_unknown_block_is_noop(self):
+        d = LazyDirectory()
+        assert d.remove(99, 0) == UNCACHED
+
+
+class TestMSIDirectory:
+    def test_read_uncached(self):
+        d = MSIDirectory()
+        out = d.read(1, 0)
+        assert out.state == SHARED
+        assert out.forward_to is None
+
+    def test_read_dirty_forwards_to_owner(self):
+        d = MSIDirectory()
+        d.write(1, writer=0, has_copy=False)
+        out = d.read(1, reader=1)
+        assert out.forward_to == 0
+        assert out.state == SHARED
+        assert d.entry(1).sharers == {0, 1}
+
+    def test_read_dirty_by_owner_no_forward(self):
+        d = MSIDirectory()
+        d.write(1, writer=0, has_copy=False)
+        out = d.read(1, reader=0)
+        assert out.forward_to is None
+
+    def test_write_invalidates_sharers(self):
+        d = MSIDirectory()
+        d.read(1, 0)
+        d.read(1, 1)
+        d.read(1, 2)
+        out = d.write(1, writer=0, has_copy=True)
+        assert sorted(out.invalidate) == [1, 2]
+        assert out.await_acks
+        assert d.entry(1).owner == 0
+        assert d.entry(1).sharers == {0}
+
+    def test_write_uncached_exclusive_no_acks(self):
+        d = MSIDirectory()
+        out = d.write(1, writer=0, has_copy=False)
+        assert out.needs_data
+        assert not out.await_acks
+        assert out.invalidate == []
+
+    def test_write_to_dirty_forwards_flush(self):
+        d = MSIDirectory()
+        d.write(1, writer=0, has_copy=False)
+        out = d.write(1, writer=1, has_copy=False)
+        assert out.forward_to == 0
+        assert d.entry(1).owner == 1
+
+    def test_write_by_current_owner_is_noop(self):
+        d = MSIDirectory()
+        d.write(1, writer=0, has_copy=False)
+        out = d.write(1, writer=0, has_copy=True)
+        assert out.forward_to is None
+        assert not out.await_acks
+
+    def test_evict_clean(self):
+        d = MSIDirectory()
+        d.read(1, 0)
+        d.read(1, 1)
+        assert d.evict(1, 0, dirty=False) == SHARED
+        assert d.evict(1, 1, dirty=False) == UNCACHED
+
+    def test_evict_dirty_owner(self):
+        d = MSIDirectory()
+        d.write(1, writer=0, has_copy=False)
+        assert d.evict(1, 0, dirty=True) == UNCACHED
+
+    def test_evict_unknown_block(self):
+        d = MSIDirectory()
+        assert d.evict(5, 0, dirty=False) == UNCACHED

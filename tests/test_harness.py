@@ -1,0 +1,92 @@
+"""Tests for the experiment harness (presets, caching, rendering)."""
+
+import pytest
+
+from repro.harness import (
+    APP_PRESETS,
+    bench_config,
+    clear_cache,
+    future_config,
+    run_experiment,
+    sensitivity_sweep,
+    table1,
+)
+from repro.harness.presets import APP_LABELS, APP_ORDER, APP_PRESETS_SMALL
+from repro.stats.report import breakdown_bar, format_table
+
+
+class TestPresets:
+    def test_presets_cover_all_apps(self):
+        assert set(APP_PRESETS) == set(APP_PRESETS_SMALL) == set(APP_ORDER)
+        assert set(APP_LABELS) == set(APP_ORDER)
+
+    def test_bench_config_defaults(self):
+        c = bench_config()
+        assert c.n_procs == 64
+        assert c.cache_size == 8 * 1024
+        assert c.line_size == 128  # Table 1 parameters preserved
+
+    def test_future_config(self):
+        c = future_config()
+        assert c.mem_setup == 40
+        assert c.line_size == 256
+        assert c.net_bw == 4.0
+
+    def test_config_overrides(self):
+        c = bench_config(n_procs=8, line_size=64)
+        assert c.n_procs == 8 and c.line_size == 64
+
+
+class TestRunExperiment:
+    def test_small_experiment_runs(self):
+        r = run_experiment("mp3d", "lrc", n_procs=4, small=True)
+        assert r.exec_time > 0
+        assert r.protocol == "lrc"
+
+    def test_cache_returns_same_object(self):
+        a = run_experiment("mp3d", "lrc", n_procs=4, small=True)
+        b = run_experiment("mp3d", "lrc", n_procs=4, small=True)
+        assert a is b
+
+    def test_cache_distinguishes_overrides(self):
+        a = run_experiment("mp3d", "lrc", n_procs=4, small=True)
+        b = run_experiment("mp3d", "lrc", n_procs=4, small=True, line_size=64)
+        assert a is not b
+        assert b.config.line_size == 64
+
+    def test_clear_cache(self):
+        a = run_experiment("mp3d", "lrc", n_procs=4, small=True)
+        clear_cache()
+        b = run_experiment("mp3d", "lrc", n_procs=4, small=True)
+        assert a is not b
+        # Determinism: same numbers even from distinct runs.
+        assert a.exec_time == b.exec_time
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("mp3d", "lrc", kind="quantum", n_procs=4, small=True)
+
+    def test_classifier_attached_when_requested(self):
+        r = run_experiment("mp3d", "erc", n_procs=4, small=True, classify=True)
+        assert r.classifier is not None
+        assert r.classifier.total > 0
+
+
+class TestRendering:
+    def test_table1_contains_all_parameters(self):
+        text = table1()
+        for needle in ("128 bytes", "128 Kbytes", "20 cycles", "25 cycles", "272"):
+            assert needle in text
+
+    def test_format_table(self):
+        out = format_table(["app", "ratio"], [["gauss", 0.918]], title="T")
+        assert "gauss" in out and "0.918" in out and out.startswith("T")
+
+    def test_breakdown_bar_width(self):
+        bar = breakdown_bar({"cpu": 1, "read": 1, "write": 1, "sync": 1}, width=40)
+        assert 36 <= len(bar) <= 44
+
+    def test_sensitivity_sweep_small(self):
+        rows, text = sensitivity_sweep(app="mp3d", n_procs=4, small=True)
+        assert len(rows) == 5
+        assert "baseline" in text

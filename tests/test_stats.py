@@ -1,0 +1,65 @@
+"""Tests for cycle-bucket counters and aggregation."""
+
+from repro.stats import MachineStats, ProcStats
+
+
+class TestProcStats:
+    def test_cpu_is_derived(self):
+        p = ProcStats()
+        p.finish_time = 1000
+        p.read_stall = 200
+        p.wb_stall = 100
+        p.sync_stall = 300
+        assert p.cpu_cycles == 400
+
+    def test_miss_rate(self):
+        p = ProcStats()
+        p.reads = 80
+        p.writes = 20
+        p.read_misses = 5
+        p.write_misses = 3
+        p.upgrade_misses = 2
+        assert p.references == 100
+        assert p.misses == 10
+        assert p.miss_rate == 0.1
+
+    def test_miss_rate_no_refs(self):
+        assert ProcStats().miss_rate == 0.0
+
+
+class TestMachineStats:
+    def make(self):
+        m = MachineStats(3)
+        for i, p in enumerate(m.procs):
+            p.finish_time = 1000 * (i + 1)
+            p.read_stall = 100 * (i + 1)
+            p.reads = 50
+            p.read_misses = i
+        return m
+
+    def test_exec_time_is_max(self):
+        assert self.make().exec_time == 3000
+
+    def test_total_cycles_is_sum(self):
+        assert self.make().total_cycles == 6000
+
+    def test_breakdown_sums_to_total(self):
+        m = self.make()
+        b = m.breakdown()
+        assert sum(b.values()) == m.total_cycles
+
+    def test_breakdown_normalized(self):
+        m = self.make()
+        b = m.breakdown_normalized(6000)
+        assert abs(sum(b.values()) - 1.0) < 1e-12
+
+    def test_aggregate_miss_rate(self):
+        m = self.make()
+        assert m.references == 150
+        assert m.misses == 3
+        assert m.miss_rate == 3 / 150
+
+    def test_summary_keys(self):
+        s = self.make().summary()
+        for k in ("exec_time", "total_cycles", "miss_rate", "cpu", "read", "write", "sync"):
+            assert k in s
