@@ -4,9 +4,17 @@
 paper's size); ``REPRO_BENCH_SMALL=1`` switches to the small presets for
 quick smoke runs of the harness.
 
-Simulation results are cached inside :mod:`repro.harness.experiments`,
+Simulation results are memoized inside :mod:`repro.harness.experiments`,
 so artifacts that share underlying runs (Figure 4 and Figure 5, say)
-trigger each simulation once per pytest session.
+trigger each simulation once per pytest session.  Two further knobs use
+the experiment engine:
+
+* ``REPRO_BENCH_JOBS=N`` (N > 1) prefetches every table/figure
+  simulation through the parallel runner at session start, fanning the
+  (app, protocol, machine) matrix out over N worker processes;
+* ``REPRO_RESULTS_DIR=path`` persists results in an on-disk store, so
+  repeated benchmark sessions skip simulations entirely (parallel,
+  serial and stored results are bit-identical — DESIGN.md §7).
 """
 
 import os
@@ -15,6 +23,16 @@ import pytest
 
 N_PROCS = int(os.environ.get("REPRO_BENCH_PROCS", "64"))
 SMALL = os.environ.get("REPRO_BENCH_SMALL", "0") == "1"
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def pytest_sessionstart(session):
+    if JOBS > 1:
+        from repro.harness.experiments import all_artifact_specs, prefetch
+
+        prefetch(
+            all_artifact_specs(n_procs=N_PROCS, small=SMALL), jobs=JOBS
+        )
 
 
 @pytest.fixture(scope="session")

@@ -16,20 +16,44 @@ Quick start::
     lazy  = simulate(Gauss, SystemConfig.scaled(n_procs=16), "lrc", n=64)
     eager = simulate(Gauss, SystemConfig.scaled(n_procs=16), "erc", n=64)
     print(lazy.exec_time / eager.exec_time)
+
+Preset experiments go through the spec-based engine (memoized, optionally
+parallel and disk-cached; see ``python -m repro figures --help``)::
+
+    from repro import ExperimentSpec, run_spec
+
+    result = run_spec(ExperimentSpec("mp3d", "lrc", n_procs=16, small=True))
 """
 
 from repro.config import SystemConfig
 from repro.core.api import build_machine, run_app, simulate
 from repro.core.machine import Machine, RunResult
+from repro.harness.spec import ExperimentSpec
+from repro.results.store import ResultStore
 
-__version__ = "1.0.0"
+
+def run_spec(spec, **kwargs):
+    """Memoized spec execution — see :func:`repro.harness.experiments.run_spec`.
+
+    (A lazy indirection: importing :mod:`repro` must not pull in the whole
+    harness, which imports every application.)
+    """
+    from repro.harness.experiments import run_spec as _run_spec
+
+    return _run_spec(spec, **kwargs)
+
+
+__version__ = "1.1.0"
 
 __all__ = [
     "SystemConfig",
     "Machine",
     "RunResult",
+    "ExperimentSpec",
+    "ResultStore",
     "build_machine",
     "run_app",
+    "run_spec",
     "simulate",
     "__version__",
 ]

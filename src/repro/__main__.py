@@ -3,17 +3,43 @@
     python -m repro list
     python -m repro run gauss --protocol lrc --procs 16 --small
     python -m repro compare mp3d --procs 16
+    python -m repro figures --jobs 4 --procs 16 --small
+    python -m repro figures --only t3 f4 --jobs 4
+
+``figures`` regenerates the paper's tables and figures, fanning the
+underlying simulations out over ``--jobs`` worker processes and caching
+every result in an on-disk store (``.repro-results/`` by default), so a
+repeated invocation renders from disk without simulating anything.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+import time
 
 from repro.apps import APPS
 from repro.harness import run_experiment
+from repro.harness.runner import ExperimentError
+from repro.harness.experiments import (
+    ARTIFACT_KEYS,
+    all_artifact_specs,
+    figure4_normalized_time,
+    figure5_breakdown,
+    figure6_lazier,
+    figure7_lazier_breakdown,
+    figure8_future,
+    figure9_future_breakdown,
+    prefetch,
+    sensitivity_sweep,
+    table1,
+    table2_miss_classification,
+    table3_miss_rates,
+)
 from repro.harness.presets import APP_PRESETS, APP_PRESETS_SMALL
 from repro.protocols import PROTOCOLS
+from repro.results.store import DEFAULT_ROOT, ResultStore
 from repro.stats.report import format_table
 
 
@@ -65,6 +91,49 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_figures(args) -> int:
+    logging.basicConfig(
+        level=logging.INFO, format="%(message)s", stream=sys.stderr
+    )
+    n, small = args.procs, args.small
+    wanted = args.only or list(ARTIFACT_KEYS)
+    store = None if args.no_store else ResultStore(args.store_dir)
+
+    t0 = time.monotonic()
+    specs = all_artifact_specs(wanted, n_procs=n, small=small)
+    try:
+        prefetch(specs, jobs=args.jobs, store=store, timeout=args.timeout)
+    except ExperimentError as e:
+        print(f"repro figures: error: {e}", file=sys.stderr)
+        return 1
+    sim_elapsed = time.monotonic() - t0
+
+    renderers = {
+        "t1": lambda: table1(),
+        "t2": lambda: table2_miss_classification(n, small)[1],
+        "t3": lambda: table3_miss_rates(n, small)[1],
+        "f4": lambda: figure4_normalized_time(n, small)[1],
+        "f5": lambda: figure5_breakdown(n, small)[1],
+        "f6": lambda: figure6_lazier(n, small)[1],
+        "f7": lambda: figure7_lazier_breakdown(n, small)[1],
+        "f8": lambda: figure8_future(n, small)[1],
+        "f9": lambda: figure9_future_breakdown(n, small)[1],
+        "sweep": lambda: sensitivity_sweep(
+            app="mp3d", n_procs=min(n, 16), small=small
+        )[1],
+    }
+    for key in wanted:
+        print(renderers[key]())
+        print("=" * 72)
+    print(
+        f"{len(specs)} experiments ready in {sim_elapsed:.1f}s "
+        f"({args.jobs} jobs"
+        + (f", store: {store.root})" if store else ", store off)"),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -82,11 +151,40 @@ def main(argv=None) -> int:
     p_cmp.add_argument("--procs", type=int, default=16)
     p_cmp.add_argument("--small", action="store_true")
 
+    p_fig = sub.add_parser(
+        "figures",
+        help="regenerate paper tables/figures (parallel, with a result store)",
+    )
+    p_fig.add_argument(
+        "--only", nargs="*", choices=ARTIFACT_KEYS, metavar="ARTIFACT",
+        help=f"subset of artifacts ({', '.join(ARTIFACT_KEYS)})",
+    )
+    p_fig.add_argument("--procs", type=int, default=16)
+    p_fig.add_argument("--small", action="store_true")
+    p_fig.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the simulation fan-out (default 1)",
+    )
+    p_fig.add_argument(
+        "--store-dir", default=DEFAULT_ROOT,
+        help=f"result-store directory (default {DEFAULT_ROOT})",
+    )
+    p_fig.add_argument(
+        "--no-store", action="store_true",
+        help="do not read or write the on-disk result store",
+    )
+    p_fig.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-experiment timeout in seconds (one retry on expiry)",
+    )
+
     args = ap.parse_args(argv)
     if args.cmd == "list":
         return _cmd_list(args)
     if args.cmd == "run":
         return _cmd_run(args)
+    if args.cmd == "figures":
+        return _cmd_figures(args)
     return _cmd_compare(args)
 
 

@@ -5,6 +5,15 @@
 >>> result = simulate(Gauss, SystemConfig.scaled(n_procs=8), "lrc", n=32)
 >>> result.exec_time > 0
 True
+
+All three entry points share one signature shape —
+``(..., protocol: str, classify: bool)`` — and one meaning for the two
+keywords: ``protocol`` names the coherence protocol the machine runs,
+``classify`` asks for a :class:`repro.stats.classification.MissClassifier`
+to observe the run.  For :func:`build_machine` and :func:`simulate` they
+*configure* the machine being built; for :func:`run_app`, whose machine
+already exists, they are *validated* against it and a mismatch raises
+``ValueError`` instead of being silently ignored.
 """
 
 from __future__ import annotations
@@ -20,21 +29,44 @@ def build_machine(
     protocol: str = "lrc",
     classify: bool = False,
 ) -> Machine:
-    """Create a machine with the given (or default) configuration."""
+    """Create a machine with the given (or default) configuration.
+
+    ``classify=True`` attaches a miss classifier (Table 2 categories);
+    the classifier of the returned machine's :class:`RunResult` is
+    populated after :meth:`Machine.run`.
+    """
     return Machine(config or SystemConfig(), protocol=protocol, classify=classify)
 
 
-def run_app(app, protocol: str = "lrc", classify: bool = False) -> RunResult:
-    """Run an already-constructed application on a fresh machine.
+def run_app(
+    app,
+    protocol: Optional[str] = None,
+    classify: Optional[bool] = None,
+) -> RunResult:
+    """Run an already-constructed application on the machine it was built for.
 
     The app must expose ``machine`` (the one it allocated against) and
     ``program(pid)``; see :class:`repro.apps.common.App`.
+
+    Because the machine pre-exists, ``protocol`` and ``classify`` here
+    are assertions about it, not configuration: pass them to insist the
+    app's machine runs that protocol / has (or lacks) a miss classifier,
+    and a mismatch raises ``ValueError``.  Leave them ``None`` to accept
+    the machine as built.
     """
     machine = app.machine
-    if machine.protocol_name != protocol:
+    if protocol is not None and machine.protocol_name != protocol:
         raise ValueError(
             "app was built against a machine running "
             f"{machine.protocol_name!r}, not {protocol!r}"
+        )
+    if classify is not None and classify != (machine.classifier is not None):
+        have = "with" if machine.classifier is not None else "without"
+        want = "classify=True" if classify else "classify=False"
+        raise ValueError(
+            f"app was built against a machine {have} a miss classifier, "
+            f"but run_app() was called with {want}; pass classify to "
+            "build_machine()/Machine() when constructing the app's machine"
         )
     return machine.run([app.program(p) for p in range(machine.config.n_procs)])
 
@@ -46,7 +78,11 @@ def simulate(
     classify: bool = False,
     **app_params,
 ) -> RunResult:
-    """One-call simulation: build machine, instantiate app, run it."""
+    """One-call simulation: build machine, instantiate app, run it.
+
+    ``protocol`` and ``classify`` configure the freshly built machine
+    (see :func:`build_machine`); ``app_params`` go to ``app_cls``.
+    """
     machine = build_machine(config, protocol, classify)
     app = app_cls(machine, **app_params)
     return machine.run([app.program(p) for p in range(machine.config.n_procs)])

@@ -10,7 +10,7 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterator, List, Optional, Sequence
 
 from repro.config import SystemConfig
@@ -51,6 +51,36 @@ class RunResult:
         s["messages"] = self.traffic.total_messages
         s["bytes"] = self.traffic.total_bytes
         return s
+
+    # -- serialization (result store) ------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation of everything measured.
+
+        Round-trips through :meth:`from_dict`; the result-store schema
+        version that pins this layout lives in :mod:`repro.results.store`.
+        """
+        return {
+            "config": asdict(self.config),
+            "protocol": self.protocol,
+            "stats": self.stats.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "classifier": self.classifier.to_dict() if self.classifier else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResult":
+        return cls(
+            config=SystemConfig(**d["config"]),
+            protocol=d["protocol"],
+            stats=MachineStats.from_dict(d["stats"]),
+            traffic=MessageStats.from_dict(d["traffic"]),
+            classifier=(
+                MissClassifier.from_dict(d["classifier"])
+                if d["classifier"] is not None
+                else None
+            ),
+        )
 
 
 class Machine:

@@ -1,35 +1,51 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
 from repro.harness.presets import APP_PRESETS, bench_config, future_config
+from repro.harness.spec import ExperimentSpec
+from repro.harness.runner import ExperimentError, run_parallel, run_serial
 from repro.harness.experiments import (
-    run_experiment,
-    table1,
-    table2_miss_classification,
-    table3_miss_rates,
+    ARTIFACT_KEYS,
+    all_artifact_specs,
+    artifact_specs,
+    clear_cache,
     figure4_normalized_time,
     figure5_breakdown,
     figure6_lazier,
     figure7_lazier_breakdown,
     figure8_future,
     figure9_future_breakdown,
+    prefetch,
+    run_experiment,
+    run_spec,
     sensitivity_sweep,
-    clear_cache,
+    table1,
+    table2_miss_classification,
+    table3_miss_rates,
 )
 
 __all__ = [
     "APP_PRESETS",
+    "ARTIFACT_KEYS",
+    "ExperimentError",
+    "ExperimentSpec",
+    "all_artifact_specs",
+    "artifact_specs",
     "bench_config",
-    "future_config",
-    "run_experiment",
-    "table1",
-    "table2_miss_classification",
-    "table3_miss_rates",
+    "clear_cache",
     "figure4_normalized_time",
     "figure5_breakdown",
     "figure6_lazier",
     "figure7_lazier_breakdown",
     "figure8_future",
     "figure9_future_breakdown",
+    "future_config",
+    "prefetch",
+    "run_experiment",
+    "run_parallel",
+    "run_serial",
+    "run_spec",
     "sensitivity_sweep",
-    "clear_cache",
+    "table1",
+    "table2_miss_classification",
+    "table3_miss_rates",
 ]

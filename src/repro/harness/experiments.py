@@ -1,20 +1,34 @@
 """One entry point per table/figure of the paper.
 
 Every function returns both the raw numbers and a formatted text block
-that mirrors the paper's presentation.  Simulation results are cached
-per (app, protocol, machine-kind, n_procs, classify) within the process,
-so the benchmark suite — which regenerates several artifacts from the
-same underlying runs (e.g. Figure 4 and Figure 5) — performs each
-simulation exactly once.
+that mirrors the paper's presentation.  All simulations flow through one
+currency — :class:`repro.harness.spec.ExperimentSpec` — and one memoized
+executor, :func:`run_spec`:
+
+* results are memoized in-process per spec, so the benchmark suite —
+  which regenerates several artifacts from the same underlying runs
+  (e.g. Figure 4 and Figure 5) — performs each simulation exactly once;
+* when a persistent :class:`repro.results.store.ResultStore` is active
+  (``REPRO_RESULTS_DIR``, or the ``python -m repro figures`` CLI),
+  results are also served from / saved to disk, keyed by
+  ``spec.fingerprint()``, making warm re-runs near-instant across
+  processes and sessions;
+* :func:`prefetch` fans a list of specs out over the parallel runner
+  (:mod:`repro.harness.runner`) and warms the memo, so the artifact
+  functions below then render from memory.
+
+:func:`run_experiment` remains as a thin keyword-argument wrapper that
+builds a spec; the old process-local ``_CACHE`` dict is deprecated —
+use :func:`run_spec` / :func:`clear_cache`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.apps import APPS
 from repro.config import SystemConfig
-from repro.core.machine import Machine, RunResult
+from repro.core.machine import RunResult
 from repro.harness.presets import (
     APP_LABELS,
     APP_ORDER,
@@ -23,13 +37,53 @@ from repro.harness.presets import (
     bench_config,
     future_config,
 )
+from repro.harness.spec import ExperimentSpec
+from repro.results.store import ResultStore, default_store
 from repro.stats.classification import CATEGORIES
 
-_CACHE: Dict[Tuple, RunResult] = {}
+#: In-process memo: spec -> result.  (The deprecated ``_CACHE`` name
+#: still resolves to this dict, with a warning — see ``__getattr__``.)
+_MEMO: Dict[ExperimentSpec, RunResult] = {}
+
+_UNSET = object()
+
+
+def __getattr__(name):
+    if name == "_CACHE":
+        warnings.warn(
+            "repro.harness.experiments._CACHE is deprecated; use run_spec()/"
+            "clear_cache() and the ExperimentSpec API instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _MEMO
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the in-process memo (the on-disk store is untouched)."""
+    _MEMO.clear()
+
+
+def run_spec(spec: ExperimentSpec, store=_UNSET) -> RunResult:
+    """Run (or fetch from memo / store) one experiment spec.
+
+    ``store`` defaults to the process-wide store (active only when
+    ``REPRO_RESULTS_DIR`` is set); pass ``None`` to force disk off or a
+    :class:`ResultStore` to use a specific directory.
+    """
+    hit = _MEMO.get(spec)
+    if hit is not None:
+        return hit
+    if store is _UNSET:
+        store = default_store()
+    result = store.load(spec) if store is not None else None
+    if result is None:
+        result = spec.run()
+        if store is not None:
+            store.save(spec, result)
+    _MEMO[spec] = result
+    return result
 
 
 def run_experiment(
@@ -41,27 +95,120 @@ def run_experiment(
     small: bool = False,
     **config_over,
 ) -> RunResult:
-    """Run (or fetch from cache) one app under one protocol.
+    """Back-compat wrapper: build an :class:`ExperimentSpec` and run it.
 
     ``kind`` selects the machine: "default" (Table 1 parameters, scaled
     cache) or "future" (Section 4.3).
     """
-    key = (app_name, protocol, kind, n_procs, classify, small, tuple(sorted(config_over.items())))
-    hit = _CACHE.get(key)
-    if hit is not None:
-        return hit
-    if kind == "default":
-        cfg = bench_config(n_procs=n_procs, **config_over)
-    elif kind == "future":
-        cfg = future_config(n_procs=n_procs, **config_over)
-    else:
-        raise ValueError(f"unknown machine kind {kind!r}")
-    params = (APP_PRESETS_SMALL if small else APP_PRESETS)[app_name]
-    machine = Machine(cfg, protocol=protocol, classify=classify)
-    app = APPS[app_name](machine, **params)
-    result = machine.run([app.program(p) for p in range(cfg.n_procs)])
-    _CACHE[key] = result
-    return result
+    spec = ExperimentSpec(
+        app=app_name,
+        protocol=protocol,
+        kind=kind,
+        n_procs=n_procs,
+        classify=classify,
+        small=small,
+        overrides=config_over,
+    )
+    return run_spec(spec)
+
+
+def prefetch(
+    specs: Sequence[ExperimentSpec],
+    jobs: int = 1,
+    store=_UNSET,
+    timeout: Optional[float] = None,
+) -> Dict[ExperimentSpec, RunResult]:
+    """Warm the memo for ``specs``, in parallel when ``jobs > 1``.
+
+    After this returns, the table/figure functions below render the
+    covered artifacts without running any simulation.
+    """
+    from repro.harness import runner
+
+    if store is _UNSET:
+        store = default_store()
+    missing = [s for s in dict.fromkeys(specs) if s not in _MEMO]
+    if missing:
+        _MEMO.update(
+            runner.run_parallel(missing, jobs=jobs, store=store, timeout=timeout)
+        )
+    return {s: _MEMO[s] for s in specs}
+
+
+# ---------------------------------------------------------------------------
+# Artifact -> spec enumeration (drives the CLI and parallel prefetching)
+# ---------------------------------------------------------------------------
+
+#: Artifacts the spec enumeration (and ``python -m repro figures``) covers.
+ARTIFACT_KEYS = ("t1", "t2", "t3", "f4", "f5", "f6", "f7", "f8", "f9", "sweep")
+
+#: Section 4.3 sweep variants (shared by sensitivity_sweep and the CLI).
+SWEEP_VARIANTS = [
+    ("baseline", {}),
+    ("2x memory latency", {"mem_setup": 40}),
+    ("2x bandwidth", {"mem_bw": 4.0, "net_bw": 4.0, "bus_bw": 4.0}),
+    ("64-byte lines", {"line_size": 64}),
+    ("256-byte lines", {"line_size": 256}),
+]
+
+#: Protocols per normalized-time / breakdown artifact ("sc" is always
+#: included as the normalization baseline).
+_ARTIFACT_PROTOCOLS = {
+    "f4": (("sc", "erc", "lrc"), "default"),
+    "f5": (("sc", "erc", "lrc"), "default"),
+    "f6": (("sc", "lrc", "lrc-ext"), "default"),
+    "f7": (("sc", "lrc", "lrc-ext"), "default"),
+    "f8": (("sc", "erc", "lrc", "lrc-ext"), "future"),
+    "f9": (("sc", "erc", "lrc", "lrc-ext"), "future"),
+}
+
+
+def artifact_specs(
+    artifact: str, n_procs: int = 64, small: bool = False
+) -> List[ExperimentSpec]:
+    """The simulation specs needed to render one artifact."""
+    if artifact not in ARTIFACT_KEYS:
+        raise ValueError(f"unknown artifact {artifact!r} (expected {ARTIFACT_KEYS})")
+    if artifact == "t1":
+        return []
+    if artifact == "t2":
+        return [
+            ExperimentSpec(app, "erc", n_procs=n_procs, classify=True, small=small)
+            for app in APP_ORDER
+        ]
+    if artifact == "t3":
+        return [
+            ExperimentSpec(app, proto, n_procs=n_procs, small=small)
+            for app in APP_ORDER
+            for proto in ("erc", "lrc", "lrc-ext")
+        ]
+    if artifact == "sweep":
+        return [
+            ExperimentSpec(
+                "mp3d", proto, n_procs=min(n_procs, 16), small=small, overrides=over
+            )
+            for _label, over in SWEEP_VARIANTS
+            for proto in ("erc", "lrc")
+        ]
+    protocols, kind = _ARTIFACT_PROTOCOLS[artifact]
+    return [
+        ExperimentSpec(app, proto, kind=kind, n_procs=n_procs, small=small)
+        for app in APP_ORDER
+        for proto in protocols
+    ]
+
+
+def all_artifact_specs(
+    artifacts: Optional[Iterable[str]] = None,
+    n_procs: int = 64,
+    small: bool = False,
+) -> List[ExperimentSpec]:
+    """Deduplicated union of the specs behind the given artifacts."""
+    out: Dict[ExperimentSpec, None] = {}
+    for artifact in artifacts if artifacts is not None else ARTIFACT_KEYS:
+        for spec in artifact_specs(artifact, n_procs=n_procs, small=small):
+            out[spec] = None
+    return list(out)
 
 
 # ---------------------------------------------------------------------------
@@ -281,15 +428,8 @@ def sensitivity_sweep(
 ) -> Tuple[List[Dict], str]:
     """The text's parameter sweeps: vary memory latency, bandwidth and
     cache line size; report the lazy/eager execution-time ratio."""
-    variants = [
-        ("baseline", {}),
-        ("2x memory latency", {"mem_setup": 40}),
-        ("2x bandwidth", {"mem_bw": 4.0, "net_bw": 4.0, "bus_bw": 4.0}),
-        ("64-byte lines", {"line_size": 64}),
-        ("256-byte lines", {"line_size": 256}),
-    ]
     rows = []
-    for label, over in variants:
+    for label, over in SWEEP_VARIANTS:
         erc = run_experiment(app, "erc", n_procs=n_procs, small=small, **over)
         lrc = run_experiment(app, "lrc", n_procs=n_procs, small=small, **over)
         rows.append(

@@ -1,0 +1,200 @@
+"""Parallel experiment engine.
+
+Fans a list of :class:`ExperimentSpec` out across a pool of worker
+*processes* (the simulator is pure Python, so threads would serialize on
+the GIL).  Each worker runs one spec on a fresh machine and writes the
+result into a shared on-disk :class:`ResultStore`; the parent collects
+results back out of the store, which doubles as the IPC channel and
+leaves every run warm for future sessions.
+
+Fault model, per job:
+
+* **store hit** — served without spawning a worker;
+* **timeout** — the worker is terminated and the job retried once;
+* **crash** (non-zero exit, killed, or result missing from the store) —
+  retried once;
+* a job that fails after its retry raises :class:`ExperimentError` and
+  the remaining workers are torn down.
+
+Determinism: workers inherit nothing mutable — a spec is pure data and
+``spec.run()`` is a pure function of it (fixed seeds, DESIGN.md §7) —
+so parallel, serial and cached runs produce bit-identical cycle counts.
+Progress is logged on the ``repro.runner`` logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import tempfile
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.machine import RunResult
+from repro.harness.spec import ExperimentSpec
+from repro.results.store import ResultStore
+
+logger = logging.getLogger("repro.runner")
+
+#: Poll interval of the supervisor loop, seconds.
+_POLL = 0.02
+
+
+class ExperimentError(RuntimeError):
+    """A job failed (crash or timeout) even after its retry."""
+
+
+def _pool_context():
+    """Fork where available (cheap, Linux); spawn otherwise."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker(spec_dict: dict, store_root: str) -> None:
+    """Worker entry point: run one spec, persist the result, exit 0."""
+    spec = ExperimentSpec.from_dict(spec_dict)
+    result = spec.run()
+    ResultStore(store_root).save(spec, result)
+
+
+def _dedupe(specs: Iterable[ExperimentSpec]) -> List[ExperimentSpec]:
+    return list(dict.fromkeys(specs))
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def run_serial(
+    specs: Sequence[ExperimentSpec],
+    store: Optional[ResultStore] = None,
+) -> Dict[ExperimentSpec, RunResult]:
+    """In-process baseline: same store protocol, no pool."""
+    specs = _dedupe(specs)
+    results: Dict[ExperimentSpec, RunResult] = {}
+    for i, spec in enumerate(specs, 1):
+        hit = store.load(spec) if store is not None else None
+        if hit is not None:
+            results[spec] = hit
+            logger.info("[%d/%d] %s (store hit)", i, len(specs), spec.label())
+            continue
+        t0 = time.monotonic()
+        result = spec.run()
+        if store is not None:
+            store.save(spec, result)
+        results[spec] = result
+        logger.info(
+            "[%d/%d] %s %.1fs", i, len(specs), spec.label(), time.monotonic() - t0
+        )
+    return results
+
+
+def run_parallel(
+    specs: Sequence[ExperimentSpec],
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> Dict[ExperimentSpec, RunResult]:
+    """Run every spec, fanned out over ``jobs`` worker processes.
+
+    Returns ``{spec: RunResult}`` covering every input spec.  With
+    ``jobs <= 1`` this degrades to :func:`run_serial`.  ``timeout`` is
+    per job, in seconds.  When ``store`` is None a throwaway store in a
+    temp directory carries results between workers and parent.
+    """
+    specs = _dedupe(specs)
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs <= 1 or len(specs) <= 1:
+        return run_serial(specs, store=store)
+    if store is None:
+        with tempfile.TemporaryDirectory(prefix="repro-results-") as tmp:
+            return _supervise(specs, jobs, ResultStore(tmp), timeout, retries)
+    return _supervise(specs, jobs, store, timeout, retries)
+
+
+def _supervise(
+    specs: List[ExperimentSpec],
+    jobs: int,
+    store: ResultStore,
+    timeout: Optional[float],
+    retries: int,
+) -> Dict[ExperimentSpec, RunResult]:
+    ctx = _pool_context()
+    total = len(specs)
+    results: Dict[ExperimentSpec, RunResult] = {}
+
+    # Warm entries never cost a worker.
+    pending: List[tuple] = []  # (spec, attempts_so_far)
+    done = 0
+    for spec in specs:
+        hit = store.load(spec)
+        if hit is not None:
+            results[spec] = hit
+            done += 1
+            logger.info("[%d/%d] %s (store hit)", done, total, spec.label())
+        else:
+            pending.append((spec, 0))
+
+    running: Dict[mp.process.BaseProcess, tuple] = {}  # proc -> (spec, attempts, t0)
+
+    def _launch(spec: ExperimentSpec, attempts: int) -> None:
+        proc = ctx.Process(
+            target=_worker, args=(spec.to_dict(), str(store.root)), daemon=True
+        )
+        proc.start()
+        running[proc] = (spec, attempts, time.monotonic())
+
+    def _teardown() -> None:
+        for proc in running:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                spec, attempts = pending.pop(0)
+                _launch(spec, attempts)
+            time.sleep(_POLL)
+            for proc in list(running):
+                spec, attempts, t0 = running[proc]
+                elapsed = time.monotonic() - t0
+                if proc.is_alive():
+                    if timeout is not None and elapsed > timeout:
+                        proc.terminate()
+                        proc.join()
+                        failure = f"timed out after {timeout:.0f}s"
+                    else:
+                        continue
+                else:
+                    proc.join()
+                    if proc.exitcode == 0:
+                        result = store.load(spec)
+                        if result is not None:
+                            del running[proc]
+                            results[spec] = result
+                            done += 1
+                            logger.info(
+                                "[%d/%d] %s %.1fs",
+                                done, total, spec.label(), elapsed,
+                            )
+                            continue
+                        failure = "worker exited cleanly but stored no result"
+                    else:
+                        failure = f"worker died (exit code {proc.exitcode})"
+                del running[proc]
+                if attempts < retries:
+                    logger.warning(
+                        "%s: %s; retrying (%d/%d)",
+                        spec.label(), failure, attempts + 1, retries,
+                    )
+                    pending.append((spec, attempts + 1))
+                else:
+                    raise ExperimentError(
+                        f"{spec.label()}: {failure} after {attempts + 1} attempts"
+                    )
+    finally:
+        _teardown()
+    return results

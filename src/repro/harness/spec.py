@@ -1,0 +1,152 @@
+"""The experiment currency: a frozen, fingerprintable spec.
+
+:class:`ExperimentSpec` is the single description of "one simulation" that
+every layer of the harness shares: the in-process memo, the parallel
+runner (which pickles specs across worker processes), the persistent
+result store (which files results under ``spec.fingerprint()``), and the
+table/figure functions of :mod:`repro.harness.experiments`.
+
+A spec is *pure data* — hashable, comparable, JSON round-trippable — and
+:meth:`ExperimentSpec.run` is a pure function of it: the simulator is
+deterministic (fixed seeds, FIFO tie-breaking; DESIGN.md §7), so the
+same spec always produces bit-identical cycle counts, which is what
+makes content-addressed result caching sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Tuple
+
+#: Bumped whenever the *meaning* of a spec field changes (fingerprints
+#: then no longer collide with results computed under the old meaning).
+SPEC_VERSION = 1
+
+MACHINE_KINDS = ("default", "future")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One (app, protocol, machine) simulation, fully specified.
+
+    ``kind`` selects the machine preset: ``"default"`` (Table 1
+    parameters, scaled cache) or ``"future"`` (Section 4.3).
+    ``overrides`` holds :class:`repro.config.SystemConfig` field
+    overrides; a dict passed at construction is normalized to a sorted
+    tuple of pairs so equal specs always hash (and fingerprint) equal.
+    """
+
+    app: str
+    protocol: str
+    kind: str = "default"
+    n_procs: int = 64
+    classify: bool = False
+    small: bool = False
+    overrides: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        over = self.overrides
+        if isinstance(over, dict):
+            over = over.items()
+        object.__setattr__(
+            self, "overrides", tuple(sorted((str(k), v) for k, v in over))
+        )
+        if self.kind not in MACHINE_KINDS:
+            raise ValueError(
+                f"unknown machine kind {self.kind!r} (expected one of {MACHINE_KINDS})"
+            )
+        from repro.apps import APPS
+        from repro.protocols import PROTOCOLS
+
+        if self.app not in APPS:
+            raise ValueError(f"unknown application {self.app!r}")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+
+    # -- derived pieces -------------------------------------------------------
+
+    def config(self):
+        """The :class:`SystemConfig` this spec describes."""
+        from repro.harness.presets import bench_config, future_config
+
+        make = bench_config if self.kind == "default" else future_config
+        return make(n_procs=self.n_procs, **dict(self.overrides))
+
+    def app_params(self) -> Dict[str, Any]:
+        from repro.harness.presets import APP_PRESETS, APP_PRESETS_SMALL
+
+        return dict((APP_PRESETS_SMALL if self.small else APP_PRESETS)[self.app])
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- identity -------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content address of this spec (hex, filename-safe).
+
+        SHA-256 over the canonical JSON of the spec fields plus
+        ``SPEC_VERSION`` — identical across processes, sessions and
+        machines, independent of ``PYTHONHASHSEED``.
+        """
+        canon = json.dumps(
+            {"spec_version": SPEC_VERSION, **self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canon.encode()).hexdigest()[:24]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "protocol": self.protocol,
+            "kind": self.kind,
+            "n_procs": self.n_procs,
+            "classify": self.classify,
+            "small": self.small,
+            "overrides": [[k, v] for k, v in self.overrides],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExperimentSpec":
+        return cls(
+            app=d["app"],
+            protocol=d["protocol"],
+            kind=d["kind"],
+            n_procs=d["n_procs"],
+            classify=d["classify"],
+            small=d["small"],
+            overrides=tuple((k, v) for k, v in d["overrides"]),
+        )
+
+    def label(self) -> str:
+        """Short human-readable tag for logs and progress lines."""
+        extra = "".join(f" {k}={v}" for k, v in self.overrides)
+        return (
+            f"{self.app}/{self.protocol}/{self.kind} p={self.n_procs}"
+            + (" classify" if self.classify else "")
+            + (" small" if self.small else "")
+            + extra
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self):
+        """Execute this spec on a fresh machine (no caching).
+
+        Pure: equal specs produce bit-identical :class:`RunResult`
+        numbers.  Callers wanting memoization go through
+        :func:`repro.harness.experiments.run_spec`.
+        """
+        from repro.apps import APPS
+        from repro.core.machine import Machine
+
+        cfg = self.config()
+        machine = Machine(cfg, protocol=self.protocol, classify=self.classify)
+        app = APPS[self.app](machine, **self.app_params())
+        return machine.run([app.program(p) for p in range(cfg.n_procs)])

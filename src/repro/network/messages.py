@@ -67,3 +67,20 @@ class MessageStats:
         return {
             MsgType(k).name: (self.count[k], self.bytes[k]) for k in self.count
         }
+
+    # -- serialization (result store) -----------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "count": {MsgType(k).name: v for k, v in self.count.items()},
+            "bytes": {MsgType(k).name: v for k, v in self.bytes.items()},
+            "total_hops": self.total_hops,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MessageStats":
+        s = cls()
+        s.count = Counter({MsgType[k]: v for k, v in d["count"].items()})
+        s.bytes = Counter({MsgType[k]: v for k, v in d["bytes"].items()})
+        s.total_hops = d["total_hops"]
+        return s

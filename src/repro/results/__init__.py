@@ -1,0 +1,5 @@
+"""Persistent, content-addressed experiment results."""
+
+from repro.results.store import SCHEMA_VERSION, ResultStore, default_store
+
+__all__ = ["SCHEMA_VERSION", "ResultStore", "default_store"]

@@ -1,0 +1,138 @@
+"""On-disk result store, keyed by experiment-spec fingerprint.
+
+Layout (``.repro-results/`` by default)::
+
+    <root>/
+        <fingerprint>.json      one file per completed experiment
+
+Each file holds a schema-versioned envelope::
+
+    {
+      "schema": 1,
+      "fingerprint": "<spec.fingerprint()>",
+      "spec": {...ExperimentSpec.to_dict()...},   # for humans / debugging
+      "result": {...RunResult.to_dict()...}
+    }
+
+Invalidation rule: a stored entry is used only when *both* its schema
+version matches :data:`SCHEMA_VERSION` *and* its filename fingerprint
+matches the requesting spec.  The fingerprint covers every spec field
+plus ``SPEC_VERSION`` (see :mod:`repro.harness.spec`), so changing any
+experiment parameter — or the meaning of one — is automatically a store
+miss; bumping :data:`SCHEMA_VERSION` orphans (but does not delete) all
+old entries.  Corrupt or truncated files are treated as misses, never
+as errors: the store is a cache, the simulator is the source of truth.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent runner
+workers and concurrent CLI invocations can share one store directory;
+last-writer-wins is harmless because results are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.core.machine import RunResult
+from repro.harness.spec import ExperimentSpec
+
+#: Version of the RunResult JSON layout.  Bump on any breaking change to
+#: ``RunResult.to_dict()`` (or the nested stats/traffic/classifier dicts).
+SCHEMA_VERSION = 1
+
+#: Default store location (relative to the working directory).
+DEFAULT_ROOT = ".repro-results"
+
+#: Environment variable that switches on a process-wide default store.
+ENV_STORE_DIR = "REPRO_RESULTS_DIR"
+
+
+class ResultStore:
+    """A directory of ``<fingerprint>.json`` experiment results."""
+
+    def __init__(self, root: os.PathLike = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{spec.fingerprint()}.json"
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, spec: ExperimentSpec, result: RunResult) -> Path:
+        """Atomically persist one result; returns the file written."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": spec.fingerprint(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        final = self.path_for(spec)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=final.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, separators=(",", ":"))
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return final
+
+    def load(self, spec: ExperimentSpec) -> Optional[RunResult]:
+        """Return the stored result for ``spec``, or None on any miss
+        (absent, wrong schema version, or unreadable/corrupt file)."""
+        path = self.path_for(spec)
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            if payload["schema"] != SCHEMA_VERSION:
+                return None
+            if payload["fingerprint"] != spec.fingerprint():
+                return None
+            return RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.load(spec) is not None
+
+    # -- maintenance ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns how many were removed."""
+        n = 0
+        if self.root.is_dir():
+            for p in self.root.glob("*.json"):
+                p.unlink()
+                n += 1
+        return n
+
+
+def default_store() -> Optional[ResultStore]:
+    """The process-wide store, or None when disk caching is off.
+
+    Library calls (``run_experiment`` / ``run_spec``) touch disk only
+    when ``REPRO_RESULTS_DIR`` is set, keeping tests hermetic; the
+    ``python -m repro figures`` CLI passes a store explicitly.
+    """
+    root = os.environ.get(ENV_STORE_DIR)
+    return ResultStore(root) if root else None

@@ -112,3 +112,19 @@ class MissClassifier:
         if t == 0:
             return {c: 0.0 for c in CATEGORIES}
         return {c: 100.0 * self.counts[c] / t for c in CATEGORIES}
+
+    # -- serialization (result store) -------------------------------------------
+
+    def to_dict(self) -> Dict[str, int]:
+        """Category counts only: the word-level tracking maps are working
+        state of a live run, not part of the measured result."""
+        return dict(self.counts)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, int]) -> "MissClassifier":
+        """Rebuild a reporting-only classifier (counts/percentages work;
+        further ``record_*``/``classify_*`` calls would start from empty
+        tracking state and must not be mixed with restored counts)."""
+        c = cls()
+        c.counts = {cat: int(d.get(cat, 0)) for cat in CATEGORIES}
+        return c

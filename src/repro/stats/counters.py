@@ -20,6 +20,18 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+#: Machine-level protocol counters (kept in sync with ``__init__`` below
+#: so serialization round-trips every field).
+_MACHINE_COUNTERS = (
+    "notices_sent",
+    "eager_invalidations",
+    "acquire_invalidations",
+    "write_throughs",
+    "writebacks",
+    "three_hop_reads",
+    "deferred_notices",
+)
+
 
 class ProcStats:
     """Counters for one processor."""
@@ -71,6 +83,16 @@ class ProcStats:
     def miss_rate(self) -> float:
         refs = self.references
         return self.misses / refs if refs else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, int]) -> "ProcStats":
+        p = cls()
+        for name in cls.__slots__:
+            setattr(p, name, d[name])
+        return p
 
 
 class MachineStats:
@@ -138,3 +160,19 @@ class MachineStats:
             "miss_rate": self.miss_rate,
             **self.breakdown(),
         }
+
+    # -- serialization (result store) --------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "procs": [p.to_dict() for p in self.procs],
+            **{name: getattr(self, name) for name in _MACHINE_COUNTERS},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "MachineStats":
+        s = cls(len(d["procs"]))
+        s.procs = [ProcStats.from_dict(p) for p in d["procs"]]
+        for name in _MACHINE_COUNTERS:
+            setattr(s, name, d[name])
+        return s

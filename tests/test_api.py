@@ -1,0 +1,62 @@
+"""Tests for the public convenience API (build_machine / run_app / simulate),
+in particular run_app's validation of protocol and classify against the
+app's pre-built machine."""
+
+import pytest
+
+from repro import SystemConfig, build_machine, run_app, simulate
+from repro.apps import Gauss
+
+
+def cfg(n=2):
+    return SystemConfig.scaled(n_procs=n, cache_size=8 * 128)
+
+
+class TestBuildMachine:
+    def test_protocol_and_classifier_wiring(self):
+        m = build_machine(cfg(), protocol="erc", classify=True)
+        assert m.protocol_name == "erc"
+        assert m.classifier is not None
+        assert build_machine(cfg()).classifier is None
+
+
+class TestRunApp:
+    def test_runs_on_the_apps_machine(self):
+        app = Gauss(build_machine(cfg(), protocol="lrc"), n=8)
+        r = run_app(app)
+        assert r.exec_time > 0 and r.protocol == "lrc"
+
+    def test_protocol_assertion_matches(self):
+        app = Gauss(build_machine(cfg(), protocol="erc"), n=8)
+        assert run_app(app, protocol="erc").protocol == "erc"
+
+    def test_protocol_mismatch_raises(self):
+        app = Gauss(build_machine(cfg(), protocol="erc"), n=8)
+        with pytest.raises(ValueError, match="'erc', not 'lrc'"):
+            run_app(app, protocol="lrc")
+
+    def test_classify_true_without_classifier_raises(self):
+        app = Gauss(build_machine(cfg(), protocol="lrc"), n=8)
+        with pytest.raises(ValueError, match="classify"):
+            run_app(app, classify=True)
+
+    def test_classify_false_with_classifier_raises(self):
+        app = Gauss(build_machine(cfg(), protocol="lrc", classify=True), n=8)
+        with pytest.raises(ValueError, match="classify"):
+            run_app(app, classify=False)
+
+    def test_classify_assertion_propagates(self):
+        app = Gauss(build_machine(cfg(), protocol="lrc", classify=True), n=8)
+        r = run_app(app, classify=True)
+        assert r.classifier is not None
+        assert r.classifier.total > 0
+
+
+class TestSimulate:
+    def test_classify_reaches_the_result(self):
+        r = simulate(Gauss, cfg(), "erc", classify=True, n=8)
+        assert r.classifier is not None and r.classifier.total > 0
+
+    def test_default_has_no_classifier(self):
+        r = simulate(Gauss, cfg(), "erc", n=8)
+        assert r.classifier is None

@@ -32,3 +32,38 @@ def test_rejects_unknown_app():
 def test_rejects_unknown_protocol():
     with pytest.raises(SystemExit):
         main(["run", "gauss", "--protocol", "mesi"])
+
+
+def test_figures_subset_with_store(tmp_path, capsys):
+    from repro.harness.experiments import clear_cache
+
+    store_dir = str(tmp_path / "results")
+    argv = [
+        "figures", "--only", "t1", "t3", "--procs", "4", "--small",
+        "--jobs", "2", "--store-dir", store_dir,
+    ]
+    clear_cache()
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "Table 1" in cold and "Table 3" in cold
+    assert "Miss rates" in cold
+    # t3 needs erc/lrc/lrc-ext for 7 apps = 21 stored results.
+    assert len(list((tmp_path / "results").glob("*.json"))) == 21
+
+    # Warm rerun: served from the store, bit-identical output.
+    clear_cache()
+    assert main(argv) == 0
+    assert capsys.readouterr().out == cold
+
+
+def test_figures_no_store(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["figures", "--only", "f4", "--procs", "4", "--small",
+                 "--no-store"]) == 0
+    assert "Figure 4" in capsys.readouterr().out
+    assert not (tmp_path / ".repro-results").exists()
+
+
+def test_figures_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        main(["figures", "--only", "f13"])

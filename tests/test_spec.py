@@ -1,0 +1,132 @@
+"""Tests for the ExperimentSpec currency (fingerprints, round-trips,
+back-compat with the run_experiment keyword API)."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.experiments import clear_cache, run_experiment, run_spec
+from repro.harness.spec import SPEC_VERSION, ExperimentSpec
+
+
+class TestConstruction:
+    def test_overrides_normalized_from_dict(self):
+        a = ExperimentSpec("mp3d", "lrc", overrides={"line_size": 64, "mem_bw": 4.0})
+        b = ExperimentSpec(
+            "mp3d", "lrc", overrides=(("mem_bw", 4.0), ("line_size", 64))
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.overrides == (("line_size", 64), ("mem_bw", 4.0))
+
+    def test_specs_are_hashable_and_comparable(self):
+        a = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
+        b = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
+        c = ExperimentSpec("mp3d", "erc", n_procs=4, small=True)
+        assert a == b and a is not b
+        assert len({a, b, c}) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ExperimentSpec("mp3d", "lrc", kind="quantum")
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="application"):
+            ExperimentSpec("linpack", "lrc")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="protocol"):
+            ExperimentSpec("mp3d", "mesi")
+
+    def test_bad_n_procs_rejected(self):
+        with pytest.raises(ValueError, match="n_procs"):
+            ExperimentSpec("mp3d", "lrc", n_procs=0)
+
+    def test_with_replaces_fields(self):
+        a = ExperimentSpec("mp3d", "lrc", n_procs=4)
+        b = a.with_(protocol="erc")
+        assert b.protocol == "erc" and b.app == "mp3d" and b.n_procs == 4
+        assert a.protocol == "lrc"  # frozen original untouched
+
+
+class TestDerived:
+    def test_config_applies_kind_and_overrides(self):
+        default = ExperimentSpec("mp3d", "lrc", n_procs=8, overrides={"line_size": 64})
+        future = ExperimentSpec("mp3d", "lrc", kind="future", n_procs=8)
+        assert default.config().line_size == 64
+        assert default.config().n_procs == 8
+        assert future.config().mem_setup == 40
+        assert future.config().line_size == 256
+
+    def test_app_params_follow_small(self):
+        big = ExperimentSpec("gauss", "lrc")
+        small = ExperimentSpec("gauss", "lrc", small=True)
+        assert big.app_params()["n"] > small.app_params()["n"]
+
+    def test_label_mentions_distinguishing_fields(self):
+        s = ExperimentSpec(
+            "mp3d", "lrc", kind="future", n_procs=8, classify=True, small=True,
+            overrides={"line_size": 64},
+        )
+        for needle in ("mp3d", "lrc", "future", "p=8", "classify", "small", "line_size=64"):
+            assert needle in s.label()
+
+
+class TestFingerprint:
+    def test_pinned_values(self):
+        # Pinned: silent fingerprint drift would orphan every stored
+        # result.  A deliberate change must bump SPEC_VERSION.
+        assert SPEC_VERSION == 1
+        s = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
+        assert s.fingerprint() == "c1bf61c4e0842aafe98006dd"
+        o = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True,
+                           overrides={"line_size": 64})
+        assert o.fingerprint() == "d7fd979f293de51c8c9f5661"
+
+    def test_equal_specs_equal_fingerprints(self):
+        a = ExperimentSpec("fft", "erc", overrides={"mem_bw": 4.0})
+        b = ExperimentSpec("fft", "erc", overrides=(("mem_bw", 4.0),))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_every_field_is_significant(self):
+        base = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
+        variants = [
+            base.with_(app="gauss"),
+            base.with_(protocol="erc"),
+            base.with_(kind="future"),
+            base.with_(n_procs=8),
+            base.with_(classify=True),
+            base.with_(small=False),
+            base.with_(overrides=(("line_size", 64),)),
+        ]
+        prints = {v.fingerprint() for v in variants}
+        assert base.fingerprint() not in prints
+        assert len(prints) == len(variants)
+
+    def test_roundtrip_through_dict(self):
+        s = ExperimentSpec(
+            "cholesky", "lrc-ext", kind="future", n_procs=8, classify=True,
+            small=True, overrides={"mem_setup": 40},
+        )
+        back = ExperimentSpec.from_dict(s.to_dict())
+        assert back == s
+        assert back.fingerprint() == s.fingerprint()
+
+
+class TestBackCompat:
+    def test_run_experiment_builds_the_same_memo_entry(self):
+        clear_cache()
+        r1 = run_experiment("mp3d", "lrc", n_procs=4, small=True, line_size=64)
+        spec = ExperimentSpec(
+            "mp3d", "lrc", n_procs=4, small=True, overrides={"line_size": 64}
+        )
+        r2 = run_spec(spec)
+        assert r1 is r2  # same memo entry: one simulation, two front doors
+
+    def test_cache_module_attr_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="_CACHE"):
+            cache = experiments._CACHE
+        assert cache is experiments._MEMO
+
+    def test_unknown_module_attr_still_raises(self):
+        with pytest.raises(AttributeError):
+            experiments._NOT_A_THING

@@ -1,0 +1,147 @@
+"""Tests for RunResult serialization and the on-disk result store."""
+
+import json
+
+import pytest
+
+from repro.core.machine import RunResult
+from repro.harness.experiments import clear_cache, run_spec
+from repro.harness.spec import ExperimentSpec
+from repro.results.store import SCHEMA_VERSION, ResultStore
+from repro.stats.classification import CATEGORIES
+
+
+@pytest.fixture(scope="module")
+def classified_result():
+    spec = ExperimentSpec("mp3d", "erc", n_procs=4, classify=True, small=True)
+    return spec, spec.run()
+
+
+@pytest.fixture(scope="module")
+def plain_result():
+    spec = ExperimentSpec("gauss", "lrc", n_procs=4, small=True,
+                          overrides={"line_size": 64})
+    return spec, spec.run()
+
+
+class TestRunResultRoundTrip:
+    def test_schema_version_is_pinned(self):
+        # The round-trip layout below is what SCHEMA_VERSION == 1 means;
+        # changing RunResult.to_dict() requires bumping it.
+        assert SCHEMA_VERSION == 1
+
+    def test_dict_is_json_safe(self, classified_result):
+        _, r = classified_result
+        back = json.loads(json.dumps(r.to_dict()))
+        assert back == r.to_dict()
+
+    def test_core_numbers_survive(self, plain_result):
+        _, r = plain_result
+        back = RunResult.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert back.exec_time == r.exec_time
+        assert back.miss_rate == r.miss_rate
+        assert back.protocol == r.protocol
+        assert back.config == r.config
+        assert back.config.line_size == 64
+
+    def test_cycle_bucket_breakdowns_survive(self, plain_result):
+        _, r = plain_result
+        back = RunResult.from_dict(r.to_dict())
+        assert back.breakdown() == r.breakdown()
+        assert back.stats.total_cycles == r.stats.total_cycles
+        base = r.stats.total_cycles
+        assert back.stats.breakdown_normalized(base) == r.stats.breakdown_normalized(base)
+        assert back.summary() == r.summary()
+
+    def test_per_processor_counters_survive(self, plain_result):
+        _, r = plain_result
+        back = RunResult.from_dict(r.to_dict())
+        assert len(back.stats.procs) == len(r.stats.procs)
+        for a, b in zip(back.stats.procs, r.stats.procs):
+            assert a.to_dict() == b.to_dict()
+
+    def test_traffic_survives(self, plain_result):
+        _, r = plain_result
+        back = RunResult.from_dict(r.to_dict())
+        assert back.traffic.total_messages == r.traffic.total_messages
+        assert back.traffic.total_bytes == r.traffic.total_bytes
+        assert back.traffic.total_hops == r.traffic.total_hops
+        assert back.traffic.as_dict() == r.traffic.as_dict()
+
+    def test_classifier_percentages_survive(self, classified_result):
+        _, r = classified_result
+        back = RunResult.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert back.classifier is not None
+        assert back.classifier.total == r.classifier.total > 0
+        assert back.classifier.counts == r.classifier.counts
+        assert back.classifier.percentages() == r.classifier.percentages()
+        assert set(back.classifier.percentages()) == set(CATEGORIES)
+
+    def test_absent_classifier_round_trips_as_none(self, plain_result):
+        _, r = plain_result
+        assert r.classifier is None
+        assert RunResult.from_dict(r.to_dict()).classifier is None
+
+
+class TestResultStore:
+    def test_save_then_load(self, tmp_path, plain_result):
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        path = store.save(spec, r)
+        assert path.name == f"{spec.fingerprint()}.json"
+        back = store.load(spec)
+        assert back is not None
+        assert back.exec_time == r.exec_time
+        assert back.summary() == r.summary()
+        assert spec in store and len(store) == 1
+
+    def test_miss_on_absent(self, tmp_path):
+        store = ResultStore(tmp_path / "rs")
+        assert store.load(ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)) is None
+
+    def test_different_spec_is_a_miss(self, tmp_path, plain_result):
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        store.save(spec, r)
+        assert store.load(spec.with_(protocol="erc")) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, plain_result):
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        store.save(spec, r)
+        store.path_for(spec).write_text("{ not json")
+        assert store.load(spec) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path, plain_result):
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        path = store.save(spec, r)
+        payload = json.loads(path.read_text())
+        payload["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert store.load(spec) is None
+
+    def test_clear(self, tmp_path, plain_result):
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        store.save(spec, r)
+        assert store.clear() == 1
+        assert len(store) == 0 and spec not in store
+
+    def test_run_spec_uses_store_across_memo_clears(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "rs")
+        spec = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
+        clear_cache()
+        first = run_spec(spec, store=store)
+        assert len(store) == 1
+        clear_cache()
+        # A fresh process would hit the store, not re-simulate: make any
+        # attempt to simulate blow up.
+        monkeypatch.setattr(
+            ExperimentSpec, "run", lambda self: pytest.fail("re-simulated")
+        )
+        second = run_spec(spec, store=store)
+        assert second is not first
+        assert second.exec_time == first.exec_time
+        assert second.summary() == first.summary()
+        clear_cache()
