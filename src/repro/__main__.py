@@ -5,11 +5,19 @@
     python -m repro compare mp3d --procs 16
     python -m repro figures --jobs 4 --procs 16 --small
     python -m repro figures --only t3 f4 --jobs 4
+    python -m repro trace locusroute --protocol sc --procs 4 --small
 
 ``figures`` regenerates the paper's tables and figures, fanning the
 underlying simulations out over ``--jobs`` worker processes and caching
 every result in an on-disk store (``.repro-results/`` by default), so a
 repeated invocation renders from disk without simulating anything.
+
+``trace`` runs one simulation with the protocol event tracer and the
+coherence-invariant checker enabled; on a violation it prints the event
+window around the failure.  ``run``/``compare``/``figures`` accept
+``--check-invariants`` (or ``REPRO_CHECK_INVARIANTS=1``) to validate
+every simulation they perform — checking is pure observation, so cycle
+counts and result-store fingerprints are unchanged.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.harness.presets import APP_PRESETS, APP_PRESETS_SMALL
 from repro.protocols import PROTOCOLS
 from repro.results.store import DEFAULT_ROOT, ResultStore
 from repro.stats.report import format_table
+from repro.trace import LEVELS, Tracer
 
 
 def _cmd_list(_args) -> int:
@@ -53,7 +62,11 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     r = run_experiment(
-        args.app, args.protocol, n_procs=args.procs, small=args.small
+        args.app,
+        args.protocol,
+        n_procs=args.procs,
+        small=args.small,
+        check_invariants=args.check_invariants,
     )
     s = r.summary()
     rows = [[k, v if not isinstance(v, float) else f"{v:.4f}"] for k, v in s.items()]
@@ -66,7 +79,13 @@ def _cmd_compare(args) -> int:
     rows = []
     base = None
     for proto in ("sc", "erc", "lrc", "lrc-ext"):
-        r = run_experiment(args.app, proto, n_procs=args.procs, small=args.small)
+        r = run_experiment(
+            args.app,
+            proto,
+            n_procs=args.procs,
+            small=args.small,
+            check_invariants=args.check_invariants,
+        )
         if base is None:
             base = r.exec_time
         b = r.breakdown()
@@ -101,6 +120,8 @@ def _cmd_figures(args) -> int:
 
     t0 = time.monotonic()
     specs = all_artifact_specs(wanted, n_procs=n, small=small)
+    if args.check_invariants:
+        specs = [s.with_(check_invariants=True) for s in specs]
     try:
         prefetch(specs, jobs=args.jobs, store=store, timeout=args.timeout)
     except ExperimentError as e:
@@ -134,22 +155,86 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from collections import Counter
+
+    from repro.core.machine import Machine
+    from repro.harness.presets import bench_config
+    from repro.trace import InvariantViolation
+
+    cfg = bench_config(n_procs=args.procs)
+    machine = Machine(
+        cfg,
+        protocol=args.protocol,
+        trace=True,
+        check_invariants=not args.no_check,
+        trace_capacity=args.capacity,
+        check_level=args.check_level,
+    )
+    params = (APP_PRESETS_SMALL if args.small else APP_PRESETS)[args.app]
+    app = APPS[args.app](machine, **params)
+    tracer = machine.tracer
+    try:
+        result = machine.run([app.program(p) for p in range(cfg.n_procs)])
+    except InvariantViolation as e:
+        print(f"INVARIANT VIOLATION: {e}", file=sys.stderr)
+        if e.seq is not None:
+            print(
+                f"\nevent window (+/- {args.window} around seq {e.seq}):",
+                file=sys.stderr,
+            )
+            for ev in tracer.window(e.seq, before=args.window, after=args.window):
+                print(Tracer.format_event(ev), file=sys.stderr)
+        if args.out:
+            with open(args.out, "w") as f:
+                n = tracer.to_jsonl(f)
+            print(f"\n{n} buffered events written to {args.out}", file=sys.stderr)
+        return 1
+    counts = Counter(ev[2] for ev in tracer.buf)
+    rows = [[k, counts[k]] for k in sorted(counts)]
+    rows.append(["(buffered/emitted)", f"{len(tracer)}/{tracer.emitted}"])
+    print(
+        format_table(
+            ["event kind", "count"],
+            rows,
+            title=(
+                f"{args.app} / {args.protocol} / {args.procs} procs: "
+                f"{result.exec_time} cycles, invariants "
+                + ("not checked" if args.no_check else "ok")
+            ),
+        )
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            n = tracer.to_jsonl(f)
+        print(f"{n} events written to {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
 
     sub.add_parser("list", help="list applications and protocols")
 
+    check_help = (
+        "run the coherence-invariant checker during every simulation "
+        "(pure observation: cycle counts and fingerprints are unchanged; "
+        "cached results are served without re-checking)"
+    )
+
     p_run = sub.add_parser("run", help="run one app under one protocol")
     p_run.add_argument("app", choices=sorted(APPS))
     p_run.add_argument("--protocol", default="lrc", choices=sorted(PROTOCOLS))
     p_run.add_argument("--procs", type=int, default=16)
     p_run.add_argument("--small", action="store_true")
+    p_run.add_argument("--check-invariants", action="store_true", help=check_help)
 
     p_cmp = sub.add_parser("compare", help="run one app under all protocols")
     p_cmp.add_argument("app", choices=sorted(APPS))
     p_cmp.add_argument("--procs", type=int, default=16)
     p_cmp.add_argument("--small", action="store_true")
+    p_cmp.add_argument("--check-invariants", action="store_true", help=check_help)
 
     p_fig = sub.add_parser(
         "figures",
@@ -177,6 +262,37 @@ def main(argv=None) -> int:
         "--timeout", type=float, default=None,
         help="per-experiment timeout in seconds (one retry on expiry)",
     )
+    p_fig.add_argument("--check-invariants", action="store_true", help=check_help)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run one simulation with event tracing + invariant checking; "
+        "on a violation, print the event window around it",
+    )
+    p_tr.add_argument("app", choices=sorted(APPS))
+    p_tr.add_argument("--protocol", default="lrc", choices=sorted(PROTOCOLS))
+    p_tr.add_argument("--procs", type=int, default=4)
+    p_tr.add_argument("--small", action="store_true")
+    p_tr.add_argument(
+        "--check-level", default="sync", choices=LEVELS,
+        help="invariant checkpoint density (default sync)",
+    )
+    p_tr.add_argument(
+        "--no-check", action="store_true",
+        help="trace only, without the invariant checker",
+    )
+    p_tr.add_argument(
+        "--window", type=int, default=25,
+        help="events to print on each side of a violation (default 25)",
+    )
+    p_tr.add_argument(
+        "--capacity", type=int, default=1 << 16,
+        help="event ring-buffer size (default 65536)",
+    )
+    p_tr.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also export the buffered events as JSON Lines",
+    )
 
     args = ap.parse_args(argv)
     if args.cmd == "list":
@@ -185,6 +301,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.cmd == "figures":
         return _cmd_figures(args)
+    if args.cmd == "trace":
+        return _cmd_trace(args)
     return _cmd_compare(args)
 
 

@@ -31,6 +31,7 @@ class Cache:
         "fills",
         "evictions",
         "coherence_invalidations",
+        "tracer",
     )
 
     def __init__(self, config: SystemConfig, node_id: int = 0) -> None:
@@ -49,6 +50,7 @@ class Cache:
         self.fills = 0
         self.evictions = 0
         self.coherence_invalidations = 0
+        self.tracer = None  # set by Machine when event tracing is on
 
     # -- queries ---------------------------------------------------------------
 
@@ -91,6 +93,11 @@ class Cache:
         self.tags[s] = block
         self.states[s] = state
         self.fills += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "cache_install", self.node_id, block=block, state=state,
+                victim=victim[0] if victim else None,
+            )
         return victim
 
     def upgrade(self, block: int) -> None:
@@ -113,6 +120,8 @@ class Cache:
             self.states[s] = INVALID
             self.tags[s] = -1
             self.coherence_invalidations += 1
+            if self.tracer is not None:
+                self.tracer.emit("cache_inval", self.node_id, block=block)
             return True
         return False
 

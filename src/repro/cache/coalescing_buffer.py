@@ -14,23 +14,27 @@ the block's home memory when the buffer needs space for a new block
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 
 class CoalescingBuffer:
     """Fully-associative, FIFO-replacement coalescing buffer."""
 
-    __slots__ = ("capacity", "order", "words", "merges", "inserted", "flushes")
+    __slots__ = ("capacity", "order", "words", "merges", "inserted", "flushes",
+                 "tracer", "owner")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("coalescing buffer capacity must be >= 1")
         self.capacity = capacity
-        self.order: List[int] = []
+        self.order: Deque[int] = deque()
         self.words: Dict[int, Set[int]] = {}
         self.merges = 0
         self.inserted = 0
         self.flushes = 0
+        self.tracer = None   # set by Machine when event tracing is on
+        self.owner = -1      # owning node id (tracing only)
 
     def __len__(self) -> int:
         return len(self.order)
@@ -56,12 +60,17 @@ class CoalescingBuffer:
             return None
         victim = None
         if len(self.order) >= self.capacity:
-            vb = self.order.pop(0)
+            vb = self.order.popleft()
             victim = (vb, self.words.pop(vb))
             self.flushes += 1
         self.words[block] = set(words)
         self.order.append(block)
         self.inserted += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "cbuf_add", self.owner, block=block,
+                victim=victim[0] if victim else None, depth=len(self.order),
+            )
         return victim
 
     def remove(self, block: int) -> Optional[Set[int]]:
@@ -70,6 +79,8 @@ class CoalescingBuffer:
         if ws is not None:
             self.order.remove(block)
             self.flushes += 1
+            if self.tracer is not None:
+                self.tracer.emit("cbuf_remove", self.owner, block=block)
         return ws
 
     def drain(self) -> List[Tuple[int, Set[int]]]:
@@ -78,4 +89,6 @@ class CoalescingBuffer:
         self.flushes += len(out)
         self.order.clear()
         self.words.clear()
+        if self.tracer is not None and out:
+            self.tracer.emit("cbuf_drain", self.owner, blocks=[b for b, _ in out])
         return out

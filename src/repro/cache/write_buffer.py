@@ -13,22 +13,25 @@ stall is what the "write buffer stall" bucket in Figures 5/7/9 measures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from collections import deque
+from typing import Deque, Dict, Optional, Set
 
 
 class WriteBuffer:
     """FIFO, line-coalescing write buffer."""
 
-    __slots__ = ("capacity", "order", "words", "coalesced", "inserted")
+    __slots__ = ("capacity", "order", "words", "coalesced", "inserted", "tracer", "owner")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("write buffer capacity must be >= 1")
         self.capacity = capacity
-        self.order: List[int] = []          # FIFO of blocks
+        self.order: Deque[int] = deque()      # FIFO of blocks
         self.words: Dict[int, Set[int]] = {}  # block -> word offsets
         self.coalesced = 0
         self.inserted = 0
+        self.tracer = None   # set by Machine when event tracing is on
+        self.owner = -1      # owning node id (tracing only)
 
     def __len__(self) -> int:
         return len(self.order)
@@ -58,10 +61,14 @@ class WriteBuffer:
             self.coalesced += 1
             return True
         if len(self.order) >= self.capacity:
+            if self.tracer is not None:
+                self.tracer.emit("wb_full", self.owner, block=block)
             return False
         self.words[block] = {word}
         self.order.append(block)
         self.inserted += 1
+        if self.tracer is not None:
+            self.tracer.emit("wb_add", self.owner, block=block, depth=len(self.order))
         return True
 
     def head(self) -> Optional[int]:
@@ -69,5 +76,7 @@ class WriteBuffer:
 
     def retire_head(self) -> Set[int]:
         """Remove the head entry; return its written word offsets."""
-        block = self.order.pop(0)
+        block = self.order.popleft()
+        if self.tracer is not None:
+            self.tracer.emit("wb_retire", self.owner, block=block, depth=len(self.order))
         return self.words.pop(block)

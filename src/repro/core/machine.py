@@ -92,6 +92,10 @@ class Machine:
         protocol: str = "lrc",
         classify: bool = False,
         max_cycles: int = 1 << 62,
+        trace: bool = False,
+        check_invariants: bool = False,
+        trace_capacity: int = 1 << 16,
+        check_level: str = "sync",
     ) -> None:
         # Import here to avoid a cycle (protocols import nothing from core,
         # but core.__init__ re-exports both directions for users).
@@ -114,6 +118,37 @@ class Machine:
             self.nodes.append(node)
         self._finished = 0
         self._ran = False
+        self.tracer = None
+        self.checker = None
+        if trace or check_invariants:
+            from repro.trace import InvariantChecker, Tracer
+
+            if trace:
+                self.tracer = Tracer(self.sim, capacity=trace_capacity)
+                self._attach_tracer(self.tracer)
+            if check_invariants:
+                self.checker = InvariantChecker(
+                    self, tracer=self.tracer, level=check_level
+                )
+                for node in self.nodes:
+                    node.checker = self.checker
+                if check_level == "event":
+                    self.sim.post_event_hook = self.checker.on_event
+
+    def _attach_tracer(self, tracer) -> None:
+        """Point every instrumented component at the shared tracer."""
+        self.fabric.tracer = tracer
+        for node in self.nodes:
+            node.tracer = tracer
+            node.cache.tracer = tracer
+            node.directory.tracer = tracer
+            node.directory.home = node.id
+            if node.wb is not None:
+                node.wb.tracer = tracer
+                node.wb.owner = node.id
+            if node.cbuf is not None:
+                node.cbuf.tracer = tracer
+                node.cbuf.owner = node.id
 
     # -- callbacks ---------------------------------------------------------------
 
@@ -137,14 +172,16 @@ class Machine:
         self.sim.run()
         if self._finished != self.config.n_procs:
             stuck = [
-                (n.id, n.proc._block_bucket, n.out_count, len(n.wb or ()))
+                (n.id, n.proc.block_reason, n.out_count, len(n.wb or ()))
                 for n in self.nodes
                 if not n.proc.done
             ]
             raise DeadlockError(
                 f"{len(stuck)} processors never finished "
-                f"(id, bucket, outstanding, wb): {stuck[:8]}"
+                f"(id, reason, outstanding, wb): {stuck[:8]}"
             )
+        if self.checker is not None:
+            self.checker.end_of_run()
         return RunResult(
             config=self.config,
             protocol=self.protocol_name,

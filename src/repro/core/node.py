@@ -43,8 +43,12 @@ class Node:
         "barrier_state",
         "acq_inv_done",
         "msi_pending",
+        "fill_pending",
+        "fill_fixup",
         "wb_fetching",
         "wt_drain_busy",
+        "tracer",
+        "checker",
     )
 
     def __init__(self, node_id: int, config: SystemConfig, stats: ProcStats) -> None:
@@ -78,19 +82,33 @@ class Node:
         self.acq_inv_done = 0
         # Home-side ack-collection records (MSI protocols): block -> dict.
         self.msi_pending = {}
+        # MSI requester side: block -> number of fills in flight, and
+        # block -> state forced on arrival when a coherence message
+        # (invalidation / ownership forward) overtook the fill in the
+        # network.  The fill is still consumed once by the waiting
+        # access — DASH's RAC "use once, then invalidate" semantics.
+        self.fill_pending = {}
+        self.fill_fixup = {}
         # Lazy protocols: write-buffer entries with an outstanding fetch.
         self.wb_fetching: Set[int] = set()
         # Lazy protocols: number of background coalescing-buffer flushes
         # currently in flight.
         self.wt_drain_busy = 0
+        # Observability (set by Machine when tracing / checking is on).
+        self.tracer = None
+        self.checker = None
 
     # -- outstanding-transaction bookkeeping -------------------------------------
 
     def txn_start(self) -> None:
         self.out_count += 1
+        if self.tracer is not None:
+            self.tracer.emit("txn_start", self.id, out=self.out_count)
 
     def txn_done(self, t: int) -> None:
         self.out_count -= 1
+        if self.tracer is not None:
+            self.tracer.emit("txn_done", self.id, t=t, out=self.out_count)
         if self.out_count < 0:
             raise RuntimeError(f"node {self.id}: negative outstanding count")
         if self.out_count == 0:
@@ -107,3 +125,15 @@ class Node:
         ):
             self.release_cb = None
             cb(t)
+
+    def release_fired(self, t: int) -> None:
+        """Observability hook: a release continuation is about to run.
+
+        Called through the guard :meth:`repro.protocols.base.Protocol._guard_release`
+        wraps around every release-semantics continuation, so it fires on
+        both the immediate path and the deferred ``release_cb`` path.
+        """
+        if self.checker is not None:
+            self.checker.on_release_fire(self, t)
+        if self.tracer is not None:
+            self.tracer.emit("release_fire", self.id, t=t)

@@ -45,6 +45,9 @@ B_READ = 0
 B_WB = 1
 B_SYNC = 2
 
+#: Human-readable stall-bucket names (keyed by the B_* constants).
+BUCKET_NAMES = {B_READ: "read", B_WB: "write-buffer", B_SYNC: "sync"}
+
 
 class Processor:
     """Drives one program generator against one node."""
@@ -104,6 +107,21 @@ class Processor:
         self.blocked = True
         self._block_t = t
         self._block_bucket = bucket
+
+    @property
+    def blocked_on_write_buffer(self) -> bool:
+        """True when the CPU is stalled waiting on a write-buffer slot.
+
+        Protocols that free a slot (write-buffer retirement) use this to
+        decide whether to wake the CPU, instead of reaching into the
+        private ``_block_bucket`` bookkeeping.
+        """
+        return self.blocked and self._block_bucket == B_WB
+
+    @property
+    def block_reason(self) -> Optional[str]:
+        """Name of the stall bucket the CPU is blocked in, or ``None``."""
+        return BUCKET_NAMES[self._block_bucket] if self.blocked else None
 
     def unblock(self, t: int) -> None:
         """Resume execution at time ``t``.

@@ -49,10 +49,12 @@ class LazyWriteOutcome:
 class LazyDirectory:
     """Directory slice for one home node under the lazy protocols."""
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "tracer", "home")
 
     def __init__(self) -> None:
         self.entries: Dict[int, LazyEntry] = {}
+        self.tracer = None  # set by Machine when event tracing is on
+        self.home = -1      # owning home node id (tracing only)
 
     def entry(self, block: int) -> LazyEntry:
         e = self.entries.get(block)
@@ -70,6 +72,7 @@ class LazyDirectory:
     def read(self, block: int, reader: int) -> LazyReadOutcome:
         """Process a read request; returns the actions the home must take."""
         e = self.entry(block)
+        old = e.state
         notices: List[int] = []
         if e.state == UNCACHED:
             e.state = SHARED
@@ -94,6 +97,11 @@ class LazyDirectory:
         weak = e.state == WEAK and bool(e.writers - {reader})
         if weak:
             e.notified.add(reader)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dir_read", self.home, block=block, frm=old, to=e.state,
+                reader=reader, notices=notices,
+            )
         return LazyReadOutcome(state=e.state, weak_for_reader=weak, notices_to=notices)
 
     def write(self, block: int, writer: int, has_copy: bool) -> LazyWriteOutcome:
@@ -105,6 +113,7 @@ class LazyDirectory:
         e = self.entry(block)
         notices: List[int] = []
         st = e.state
+        old = st
         if st == UNCACHED:
             e.state = DIRTY
         elif st == SHARED:
@@ -135,6 +144,11 @@ class LazyDirectory:
         weak_for_writer = e.state == WEAK and len(e.writers) > 1
         if weak_for_writer:
             e.notified.add(writer)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dir_write", self.home, block=block, frm=old, to=e.state,
+                writer=writer, notices=notices,
+            )
         return LazyWriteOutcome(
             state=e.state,
             needs_data=not has_copy,
@@ -154,10 +168,15 @@ class LazyDirectory:
         e = self.entries.get(block)
         if e is None:
             return UNCACHED
+        old = e.state
         e.sharers.discard(node)
         e.writers.discard(node)
         e.notified.discard(node)
         st = e.recompute_state()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dir_remove", self.home, block=block, frm=old, to=st, actor=node
+            )
         if st == UNCACHED and e.pending_acks == 0 and not e.pending_requesters:
             del self.entries[block]
         return st

@@ -38,10 +38,12 @@ class MSIWriteOutcome:
 class MSIDirectory:
     """Directory slice for one home node under SC / eager RC."""
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "tracer", "home")
 
     def __init__(self) -> None:
         self.entries: Dict[int, MSIEntry] = {}
+        self.tracer = None  # set by Machine when event tracing is on
+        self.home = -1      # owning home node id (tracing only)
 
     def entry(self, block: int) -> MSIEntry:
         e = self.entries.get(block)
@@ -56,6 +58,7 @@ class MSIDirectory:
 
     def read(self, block: int, reader: int) -> MSIReadOutcome:
         e = self.entry(block)
+        old = e.state
         if e.state == DIRTY and e.owner != reader:
             owner = e.owner
             # 3-hop transaction: owner supplies data and writes back;
@@ -63,14 +66,30 @@ class MSIDirectory:
             e.state = SHARED
             e.owner = None
             e.sharers.add(reader)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "dir_read", self.home, block=block, frm=old, to=SHARED,
+                    reader=reader, forward_to=owner,
+                )
             return MSIReadOutcome(state=SHARED, forward_to=owner)
         if e.state == UNCACHED:
             e.state = SHARED
         e.sharers.add(reader)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dir_read", self.home, block=block, frm=old, to=e.state,
+                reader=reader,
+            )
         return MSIReadOutcome(state=e.state)
 
     def write(self, block: int, writer: int, has_copy: bool) -> MSIWriteOutcome:
         e = self.entry(block)
+        old = e.state
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dir_write", self.home, block=block, frm=old, to=DIRTY,
+                writer=writer,
+            )
         if e.state == DIRTY:
             if e.owner == writer:
                 # Already exclusive (e.g. retried request); nothing to do.
@@ -101,6 +120,7 @@ class MSIDirectory:
         e = self.entries.get(block)
         if e is None:
             return UNCACHED
+        old = e.state
         e.sharers.discard(node)
         if dirty and e.owner == node:
             e.owner = None
@@ -109,6 +129,11 @@ class MSIDirectory:
         elif not e.sharers:
             e.state = UNCACHED
             e.owner = None
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dir_remove", self.home, block=block, frm=old, to=e.state,
+                actor=node, dirty=dirty,
+            )
         if e.state == UNCACHED:
             del self.entries[block]
         return self.state_of(block)

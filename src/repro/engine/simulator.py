@@ -20,13 +20,16 @@ class DeadlockError(RuntimeError):
 class Simulator:
     """Event loop with a monotonically non-decreasing global clock."""
 
-    __slots__ = ("queue", "now", "max_cycles", "events_processed")
+    __slots__ = ("queue", "now", "max_cycles", "events_processed", "post_event_hook")
 
     def __init__(self, max_cycles: int = 1 << 62) -> None:
         self.queue = EventQueue()
         self.now: int = 0
         self.max_cycles = max_cycles
         self.events_processed: int = 0
+        # Observability hook called (with no arguments) after every event;
+        # set before run() (e.g. per-event invariant checking).
+        self.post_event_hook = None
 
     def at(self, time: int, callback: Callable, *args: Any) -> None:
         """Schedule ``callback(*args)`` at absolute ``time``.
@@ -46,6 +49,7 @@ class Simulator:
     def run(self) -> int:
         """Drain the event queue; return the final simulated time."""
         queue = self.queue
+        hook = self.post_event_hook
         while queue:
             time, callback, args = queue.pop()
             if time > self.max_cycles:
@@ -55,4 +59,6 @@ class Simulator:
             self.now = time
             callback(*args)
             self.events_processed += 1
+            if hook is not None:
+                hook()
         return self.now

@@ -93,6 +93,7 @@ def run_experiment(
     n_procs: int = 64,
     classify: bool = False,
     small: bool = False,
+    check_invariants: bool = False,
     **config_over,
 ) -> RunResult:
     """Back-compat wrapper: build an :class:`ExperimentSpec` and run it.
@@ -108,6 +109,7 @@ def run_experiment(
         classify=classify,
         small=small,
         overrides=config_over,
+        check_invariants=check_invariants,
     )
     return run_spec(spec)
 

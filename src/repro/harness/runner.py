@@ -29,6 +29,7 @@ import multiprocessing as mp
 import os
 import tempfile
 import time
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.machine import RunResult
@@ -99,15 +100,23 @@ def run_parallel(
 ) -> Dict[ExperimentSpec, RunResult]:
     """Run every spec, fanned out over ``jobs`` worker processes.
 
-    Returns ``{spec: RunResult}`` covering every input spec.  With
-    ``jobs <= 1`` this degrades to :func:`run_serial`.  ``timeout`` is
-    per job, in seconds.  When ``store`` is None a throwaway store in a
-    temp directory carries results between workers and parent.
+    Returns ``{spec: RunResult}`` covering every input spec.  ``timeout``
+    is per job, in seconds, and is honored even when the fan-out degrades
+    to a single worker (``jobs <= 1`` or one spec): the job still runs in
+    a supervised subprocess so a hang fails — with the same retry policy —
+    instead of blocking the parent forever.  Only with no ``timeout`` does
+    the degraded path fall back to the in-process :func:`run_serial`.
+    When ``store`` is None a throwaway store in a temp directory carries
+    results between workers and parent.
     """
     specs = _dedupe(specs)
     jobs = default_jobs() if jobs is None else jobs
     if jobs <= 1 or len(specs) <= 1:
-        return run_serial(specs, store=store)
+        if timeout is None:
+            return run_serial(specs, store=store)
+        # A timeout needs a killable worker: supervise with one slot
+        # rather than silently dropping the timeout/retry guarantees.
+        jobs = 1
     if store is None:
         with tempfile.TemporaryDirectory(prefix="repro-results-") as tmp:
             return _supervise(specs, jobs, ResultStore(tmp), timeout, retries)
@@ -126,7 +135,7 @@ def _supervise(
     results: Dict[ExperimentSpec, RunResult] = {}
 
     # Warm entries never cost a worker.
-    pending: List[tuple] = []  # (spec, attempts_so_far)
+    pending: deque = deque()  # (spec, attempts_so_far)
     done = 0
     for spec in specs:
         hit = store.load(spec)
@@ -155,7 +164,7 @@ def _supervise(
     try:
         while pending or running:
             while pending and len(running) < jobs:
-                spec, attempts = pending.pop(0)
+                spec, attempts = pending.popleft()
                 _launch(spec, attempts)
             time.sleep(_POLL)
             for proc in list(running):

@@ -36,6 +36,14 @@ class ExperimentSpec:
     ``overrides`` holds :class:`repro.config.SystemConfig` field
     overrides; a dict passed at construction is normalized to a sorted
     tuple of pairs so equal specs always hash (and fingerprint) equal.
+
+    ``check_invariants`` runs the coherence-invariant checker
+    (:mod:`repro.trace`) during the simulation.  Checking is pure
+    observation — it cannot change a single simulated cycle — so the
+    field is *transient*: excluded from equality, hashing and
+    :meth:`fingerprint`, meaning checked and unchecked runs share one
+    result-store slot.  ``REPRO_CHECK_INVARIANTS=1`` in the environment
+    forces it on for every :meth:`run`.
     """
 
     app: str
@@ -45,6 +53,11 @@ class ExperimentSpec:
     classify: bool = False
     small: bool = False
     overrides: Tuple[Tuple[str, Any], ...] = field(default=())
+    check_invariants: bool = field(default=False, compare=False)
+
+    #: ``to_dict`` keys that do not affect the simulated numbers and are
+    #: therefore excluded from :meth:`fingerprint`.
+    TRANSIENT_KEYS = ("check_invariants",)
 
     def __post_init__(self) -> None:
         over = self.overrides
@@ -92,10 +105,17 @@ class ExperimentSpec:
 
         SHA-256 over the canonical JSON of the spec fields plus
         ``SPEC_VERSION`` — identical across processes, sessions and
-        machines, independent of ``PYTHONHASHSEED``.
+        machines, independent of ``PYTHONHASHSEED``.  Transient fields
+        (``TRANSIENT_KEYS``) are excluded: they cannot change the
+        simulated numbers, so they must not split the result cache.
         """
+        d = {
+            k: v
+            for k, v in self.to_dict().items()
+            if k not in self.TRANSIENT_KEYS
+        }
         canon = json.dumps(
-            {"spec_version": SPEC_VERSION, **self.to_dict()},
+            {"spec_version": SPEC_VERSION, **d},
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -110,6 +130,7 @@ class ExperimentSpec:
             "classify": self.classify,
             "small": self.small,
             "overrides": [[k, v] for k, v in self.overrides],
+            "check_invariants": self.check_invariants,
         }
 
     @classmethod
@@ -122,6 +143,7 @@ class ExperimentSpec:
             classify=d["classify"],
             small=d["small"],
             overrides=tuple((k, v) for k, v in d["overrides"]),
+            check_invariants=d.get("check_invariants", False),
         )
 
     def label(self) -> str:
@@ -140,13 +162,24 @@ class ExperimentSpec:
         """Execute this spec on a fresh machine (no caching).
 
         Pure: equal specs produce bit-identical :class:`RunResult`
-        numbers.  Callers wanting memoization go through
+        numbers (the invariant checker, when enabled, only observes).
+        Callers wanting memoization go through
         :func:`repro.harness.experiments.run_spec`.
         """
+        import os
+
         from repro.apps import APPS
         from repro.core.machine import Machine
 
+        check = self.check_invariants or os.environ.get(
+            "REPRO_CHECK_INVARIANTS", ""
+        ) not in ("", "0")
         cfg = self.config()
-        machine = Machine(cfg, protocol=self.protocol, classify=self.classify)
+        machine = Machine(
+            cfg,
+            protocol=self.protocol,
+            classify=self.classify,
+            check_invariants=check,
+        )
         app = APPS[self.app](machine, **self.app_params())
         return machine.run([app.program(p) for p in range(cfg.n_procs)])

@@ -51,6 +51,8 @@ class Fabric:
         # Hot-path constants hoisted out of send().
         self._hop_lat = config.hop_latency
         self._line = config.line_size
+        # Event tracer (set by Machine when tracing is on).
+        self.tracer = None
 
     def payload_size(self, mtype: MsgType) -> int:
         return self._line if mtype in DATA_BEARING else 0
@@ -92,6 +94,11 @@ class Fabric:
                 arrival = start + self._hop_lat * hops
                 deliver = self.nic_in_ctl[dst].enqueue(arrival, occ)
             self.stats.record(mtype, size, hops)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "msg", src, t=t, dst=dst, type=mtype.name, size=size,
+                deliver=deliver,
+            )
         self.sim.at(deliver, handler, deliver, *args)
         return deliver
 

@@ -32,6 +32,9 @@ class MsgType(IntEnum):
     LOCK_RELEASE = 14
     BARRIER_ARRIVE = 15
     BARRIER_EXIT = 16
+    FLAG_SET = 17         # producer: release semantics done, set the flag
+    FLAG_WAIT = 18        # consumer: block until the flag is set
+    FLAG_GRANT = 19       # home -> consumer, flag observed set
 
 
 #: Message types that carry a full cache line of payload.

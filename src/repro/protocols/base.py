@@ -19,6 +19,7 @@ to acquires.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, List, Optional
 
 from repro.cache.state import INVALID, RO, RW
@@ -79,6 +80,32 @@ class Protocol:
         Default (eager protocols): nothing is pending, return ``t``."""
         return t
 
+    # -- observability guards ------------------------------------------------------
+
+    def _guard_release(self, node, cont: Callable) -> Callable:
+        """Wrap a release-semantics continuation with the observability
+        hook.  The wrapper fires on both the immediate path and the
+        deferred ``release_cb`` path — including through protocol-specific
+        ``_pre_release`` overrides — so the invariant checker sees every
+        release commit point.  A no-op (returns ``cont`` unwrapped) when
+        neither tracing nor checking is enabled."""
+        if node.checker is None and node.tracer is None:
+            return cont
+
+        def guarded(t2: int) -> None:
+            node.release_fired(t2)
+            cont(t2)
+
+        return guarded
+
+    def _acquire_done(self, node, t: int) -> None:
+        """Observability hook: acquire-side invalidation processing is
+        complete and the CPU is about to resume."""
+        if node.checker is not None:
+            node.checker.on_acquire_done(node, t)
+        if node.tracer is not None:
+            node.tracer.emit("acquire_done", node.id, t=t)
+
     # =====================================================================
     # Locks
     # =====================================================================
@@ -106,7 +133,7 @@ class Protocol:
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
         st = home.lock_state.get(lock_id)
         if st is None:
-            st = {"held": False, "queue": []}
+            st = {"held": False, "queue": deque()}
             home.lock_state[lock_id] = st
         if not st["held"]:
             st["held"] = True
@@ -122,6 +149,7 @@ class Protocol:
         # in progress; notices that arrived while waiting are processed now.
         t2 = t if t >= node.acq_inv_done else node.acq_inv_done
         t2 = self._process_pending_invals(node, t2)
+        self._acquire_done(node, t2)
         node.proc.unblock(t2)
 
     def cpu_release(self, node, t: int, lock_id: int) -> None:
@@ -136,14 +164,14 @@ class Protocol:
             )
             node.proc.unblock(t2 + 1)
 
-        self._pre_release(node, t, done)
+        self._pre_release(node, t, self._guard_release(node, done))
 
     def _h_lock_release(self, t: int, lock_id: int) -> None:
         home = self.nodes[self.lock_home(lock_id)]
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
         st = home.lock_state[lock_id]
         if st["queue"]:
-            nxt = st["queue"].pop(0)
+            nxt = st["queue"].popleft()
             self.fabric.send(
                 home.id, nxt, MsgType.LOCK_GRANT, tp, self._h_lock_grant, nxt
             )
@@ -166,14 +194,14 @@ class Protocol:
                 node.id,
             )
 
-        self._pre_release(node, t, arrived)
+        self._pre_release(node, t, self._guard_release(node, arrived))
 
     def _h_barrier_arrive(self, t: int, barrier_id: int, src: int) -> None:
         home = self.nodes[self.lock_home(barrier_id)]
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
         st = home.barrier_state.get(barrier_id)
         if st is None:
-            st = {"waiters": []}
+            st = {"waiters": deque()}
             home.barrier_state[barrier_id] = st
         st["waiters"].append(src)
         if len(st["waiters"]) == self._n:
@@ -185,11 +213,12 @@ class Protocol:
                 self.fabric.send(
                     home.id, w, MsgType.BARRIER_EXIT, tg, self._h_barrier_exit, w
                 )
-            st["waiters"] = []
+            st["waiters"].clear()
 
     def _h_barrier_exit(self, t: int, target: int) -> None:
         node = self.nodes[target]
         t2 = self._process_pending_invals(node, t)
+        self._acquire_done(node, t2)
         node.proc.unblock(t2)
 
     # =====================================================================
@@ -203,26 +232,28 @@ class Protocol:
             self.fabric.send(
                 node.id,
                 self.lock_home(flag_id),
-                MsgType.LOCK_RELEASE,
+                MsgType.FLAG_SET,
                 t2,
                 self._h_flag_set,
                 flag_id,
             )
             node.proc.unblock(t2 + 1)
 
-        self._pre_release(node, t, done)
+        self._pre_release(node, t, self._guard_release(node, done))
 
     def _h_flag_set(self, t: int, flag_id: int) -> None:
         home = self.nodes[self.lock_home(flag_id)]
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
-        st = home.lock_state.setdefault(("f", flag_id), {"set": False, "waiters": []})
+        st = home.lock_state.setdefault(
+            ("f", flag_id), {"set": False, "waiters": deque()}
+        )
         st["set"] = True
         for w in st["waiters"]:
             tp = home.pp.reserve(tp, self.cfg.lock_mgr_cost)
             self.fabric.send(
-                home.id, w, MsgType.LOCK_GRANT, tp, self._h_flag_granted, w
+                home.id, w, MsgType.FLAG_GRANT, tp, self._h_flag_granted, w
             )
-        st["waiters"] = []
+        st["waiters"].clear()
 
     def cpu_wait_flag(self, node, t: int, flag_id: int) -> None:
         """Block until the flag is set; acquire semantics on the way out."""
@@ -230,7 +261,7 @@ class Protocol:
         self.fabric.send(
             node.id,
             self.lock_home(flag_id),
-            MsgType.LOCK_REQ,
+            MsgType.FLAG_WAIT,
             t,
             self._h_flag_wait,
             flag_id,
@@ -240,10 +271,12 @@ class Protocol:
     def _h_flag_wait(self, t: int, flag_id: int, requester: int) -> None:
         home = self.nodes[self.lock_home(flag_id)]
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
-        st = home.lock_state.setdefault(("f", flag_id), {"set": False, "waiters": []})
+        st = home.lock_state.setdefault(
+            ("f", flag_id), {"set": False, "waiters": deque()}
+        )
         if st["set"]:
             self.fabric.send(
-                home.id, requester, MsgType.LOCK_GRANT, tp, self._h_flag_granted, requester
+                home.id, requester, MsgType.FLAG_GRANT, tp, self._h_flag_granted, requester
             )
         else:
             st["waiters"].append(requester)
@@ -252,6 +285,7 @@ class Protocol:
         node = self.nodes[requester]
         t2 = t if t >= node.acq_inv_done else node.acq_inv_done
         t2 = self._process_pending_invals(node, t2)
+        self._acquire_done(node, t2)
         node.proc.unblock(t2)
 
     # =====================================================================
@@ -261,9 +295,10 @@ class Protocol:
     def cpu_fence(self, node, t: int) -> None:
         def done(t2: int) -> None:
             t3 = self._process_pending_invals(node, t2)
+            self._acquire_done(node, t3)
             node.proc.unblock(t3)
 
-        self._pre_release(node, t, done)
+        self._pre_release(node, t, self._guard_release(node, done))
 
     # =====================================================================
     # Shared helpers

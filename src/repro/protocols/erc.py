@@ -47,6 +47,7 @@ class ERCProtocol(MSIHomeMixin, Protocol):
     # -- CPU side ----------------------------------------------------------------------
 
     def cpu_read_miss(self, node, t: int, block: int) -> None:
+        self._fill_begin(node, block)
         self.fabric.send(
             node.id,
             self.home_of(block),
@@ -94,6 +95,7 @@ class ERCProtocol(MSIHomeMixin, Protocol):
                 node.stats.write_misses += 1
                 if obs is not None:
                     obs.classify_miss(node.id, block, min(wb.words[block]))
+            self._fill_begin(node, block)
             self.fabric.send(
                 node.id,
                 self.home_of(block),
@@ -119,6 +121,6 @@ class ERCProtocol(MSIHomeMixin, Protocol):
     def _after_retire(self, node, t: int) -> None:
         """A slot freed: wake a CPU stalled on a full buffer; check release."""
         proc = node.proc
-        if proc.blocked and proc._block_bucket == 1:  # B_WB
+        if proc.blocked_on_write_buffer:
             proc.unblock(t)
         node.check_release(t)

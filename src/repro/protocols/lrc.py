@@ -372,7 +372,7 @@ class LRCProtocol(Protocol):
                 break
         if retired:
             proc = node.proc
-            if proc.blocked and proc._block_bucket == 1:  # B_WB
+            if proc.blocked_on_write_buffer:
                 proc.unblock(t)
             node.check_release(t)
 

@@ -13,9 +13,22 @@ Implements the DASH-style MSI directory transactions:
 Requester-side completion differs between SC (unblock the CPU) and ERC
 (retire the write-buffer head), so it is routed through the overridable
 ``_read_fill_done`` / ``_write_grant`` hooks.
+
+A fill reply and a later coherence message for the same block can cross
+in the network (the reply is delayed behind the memory access while an
+invalidation or ownership forward departs immediately).  The requester
+therefore tracks its in-flight fills (``node.fill_pending``); a
+coherence message that finds its target line absent *but being fetched*
+records the state the line must assume once the fill lands
+(``node.fill_fixup``).  The waiting access still consumes the fill once
+— it was ordered before the conflicting write — and the line is then
+immediately invalidated (or downgraded), matching the use-once handling
+of DASH's remote access cache.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from repro.cache.state import INVALID, RO, RW
 from repro.network.messages import MsgType
@@ -29,6 +42,53 @@ class MSIHomeMixin:
     def _dir_cost(self) -> int:
         return getattr(self.cfg, self.dir_cost_attr)
 
+    # -- in-flight fill tracking (requester side) ---------------------------------
+
+    def _fill_begin(self, node, block: int) -> None:
+        """A fill (read data or write grant) is now in flight to ``node``."""
+        node.fill_pending[block] = node.fill_pending.get(block, 0) + 1
+
+    def _fill_end(self, node, t: int, block: int, is_write_grant: bool = False) -> None:
+        """The fill landed: apply any coherence action that overtook it."""
+        left = node.fill_pending[block] - 1
+        if left:
+            node.fill_pending[block] = left
+        else:
+            del node.fill_pending[block]
+        fixup = node.fill_fixup.pop(block, None)
+        if fixup is None:
+            return
+        state, hits_grants = fixup
+        if is_write_grant and not hits_grants:
+            # A plain invalidation cannot be aimed at an ownership grant:
+            # had the home processed our write first, the later write
+            # would have *forwarded* to us instead.  The grant is the
+            # home's more recent decision — the invalidation is stale.
+            return
+        if state == INVALID:
+            if node.cache.invalidate(block):
+                self.stats.eager_invalidations += 1
+                if self.machine.classifier is not None:
+                    self.machine.classifier.record_invalidation(node.id, block)
+        else:  # RO: ownership was forwarded away while the grant traveled
+            node.cache.downgrade(block)
+
+    def _note_fill_fixup(
+        self, node, block: int, state: int, hits_grants: bool
+    ) -> bool:
+        """Record that an in-flight fill must assume ``state`` on arrival.
+
+        ``hits_grants`` marks fixups that apply even to an ownership
+        grant (forwards, which the home only sends to the current
+        owner-of-record).  Returns False when no fill is in flight (the
+        message was simply stale, e.g. chasing an eviction hint)."""
+        if block not in node.fill_pending:
+            return False
+        cur = node.fill_fixup.get(block)
+        if cur is None or state < cur[0]:  # INVALID < RO: strongest wins
+            node.fill_fixup[block] = (state, hits_grants)
+        return True
+
     # -- home-side busy/queue -----------------------------------------------------
 
     def _home_defer(self, home, block: int, kind: str, *args) -> bool:
@@ -39,7 +99,7 @@ class MSIHomeMixin:
         order.
         """
         if block in home.home_busy or home.home_queue.get(block):
-            home.home_queue.setdefault(block, []).append((kind, args))
+            home.home_queue.setdefault(block, deque()).append((kind, args))
             return True
         return False
 
@@ -50,7 +110,7 @@ class MSIHomeMixin:
         # (plain 2-hop read) must not strand the ones behind it.
         q = home.home_queue.get(block)
         while q and block not in home.home_busy:
-            kind, args = q.pop(0)
+            kind, args = q.popleft()
             if kind == "read":
                 self._do_read_req(t, block, *args)
             else:
@@ -109,7 +169,12 @@ class MSIHomeMixin:
         # the line raced away via an eviction whose hint is still in
         # flight, the owner still plays its protocol role — only state,
         # not data values, is simulated.
-        onode.cache.downgrade(block)
+        if onode.cache.resident(block):
+            onode.cache.downgrade(block)
+        else:
+            # The forward overtook the owner's own grant: the fill must
+            # land shared, not exclusive.
+            self._note_fill_fixup(onode, block, RO, hits_grants=True)
         self.fabric.send(
             onode.id, requester, MsgType.OWNER_DATA, tp, self._h_read_data, block, requester
         )
@@ -128,6 +193,7 @@ class MSIHomeMixin:
         node = self.nodes[requester]
         t_fill = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
         self._install_line(node, t_fill, block, RO)
+        self._fill_end(node, t_fill, block)
         self._read_fill_done(node, t_fill, block)
 
     def _read_fill_done(self, node, t: int, block: int) -> None:
@@ -213,6 +279,8 @@ class MSIHomeMixin:
             self.stats.eager_invalidations += 1
             if self.machine.classifier is not None:
                 self.machine.classifier.record_invalidation(owner, block)
+        else:
+            self._note_fill_fixup(onode, block, INVALID, hits_grants=True)
         self.fabric.send(
             onode.id,
             requester,
@@ -239,6 +307,8 @@ class MSIHomeMixin:
             self.stats.eager_invalidations += 1
             if self.machine.classifier is not None:
                 self.machine.classifier.record_invalidation(target, block)
+        else:
+            self._note_fill_fixup(tnode, block, INVALID, hits_grants=False)
         home = self.nodes[self.home_of(block)]
         self.fabric.send(
             tnode.id, home.id, MsgType.ACK, tp, self._h_inval_ack, block
@@ -268,6 +338,7 @@ class MSIHomeMixin:
                 # The line was evicted while the upgrade was in flight
                 # (hint still traveling); re-install it exclusively.
                 self._install_line(node, t, block, RW)
+        self._fill_end(node, t, block, is_write_grant=True)
         self._write_grant(node, t, block)
 
     def _write_grant(self, node, t: int, block: int) -> None:

@@ -40,6 +40,7 @@ class SCProtocol(MSIHomeMixin, Protocol):
     # -- CPU side ----------------------------------------------------------------------
 
     def cpu_read_miss(self, node, t: int, block: int) -> None:
+        self._fill_begin(node, block)
         self.fabric.send(
             node.id,
             self.home_of(block),
@@ -63,6 +64,7 @@ class SCProtocol(MSIHomeMixin, Protocol):
                 obs.classify_miss(node.id, block, word)
         # Returning -1 makes the processor stall (write bucket) and retry
         # the write — which then hits — after _write_grant resumes it.
+        self._fill_begin(node, block)
         self.fabric.send(
             node.id,
             self.home_of(block),

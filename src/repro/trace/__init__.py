@@ -1,0 +1,19 @@
+"""Protocol observability: structured event tracing + invariant checking.
+
+Usage::
+
+    machine = Machine(cfg, protocol="lrc", trace=True, check_invariants=True)
+    machine.run(programs)           # InvariantViolation on a protocol bug
+    machine.tracer.to_jsonl(open("trace.jsonl", "w"))
+
+or from the harness/CLI::
+
+    spec.with_(check_invariants=True).run()
+    REPRO_CHECK_INVARIANTS=1 python -m repro run mp3d --small
+    python -m repro trace mp3d --protocol lrc --procs 8 --small
+"""
+
+from repro.trace.invariants import InvariantChecker, InvariantViolation, LEVELS
+from repro.trace.tracer import Tracer
+
+__all__ = ["Tracer", "InvariantChecker", "InvariantViolation", "LEVELS"]

@@ -1,0 +1,144 @@
+"""Structured protocol event tracer.
+
+The tracer records coherence-protocol events — message sends, directory
+transitions, cache installs/invalidations, buffer operations, outstanding
+transaction bookkeeping, sync milestones — into a bounded ring buffer.
+
+Design constraints:
+
+* **Zero overhead when off.**  The tracer is attached to components only
+  when tracing is enabled; every instrumentation point is a single
+  ``if tracer is not None`` check against a ``None`` attribute otherwise.
+* **Pure observation.**  Emitting an event never touches simulated time,
+  resources, or protocol state, so enabling the tracer cannot change any
+  cycle count (the CI sweep asserts this).
+* **Bounded memory.**  The ring buffer keeps the most recent ``capacity``
+  events; older ones are dropped (and counted), so tracing a long run
+  costs O(capacity) memory while the window around a violation is intact.
+
+Events are ``(seq, t, kind, node, fields)`` tuples; :meth:`Tracer.to_jsonl`
+exports them as one JSON object per line for offline digging.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, TextIO, Tuple
+
+#: Event kinds emitted by the built-in instrumentation points.
+KINDS = (
+    "msg",            # fabric send (src, dst, type, send/deliver times)
+    "dir_read",       # directory read transition at the home
+    "dir_write",      # directory write transition at the home
+    "dir_remove",     # sharer removed (relinquish / eviction)
+    "cache_install",  # line installed (with victim, if any)
+    "cache_inval",    # line invalidated by coherence
+    "wb_add",         # write-buffer entry created
+    "wb_full",        # write buffer rejected an entry (CPU will stall)
+    "wb_retire",      # write-buffer head retired
+    "cbuf_add",       # coalescing-buffer entry created (victim, if any)
+    "cbuf_remove",    # coalescing-buffer entry forced out
+    "cbuf_drain",     # release-point drain of the coalescing buffer
+    "txn_start",      # outstanding-transaction counter incremented
+    "txn_done",       # outstanding-transaction counter decremented
+    "release_fire",   # a release continuation fired
+    "acquire_done",   # acquire-side invalidation processing completed
+    "violation",      # invariant checker failure (always the last event)
+)
+
+Event = Tuple[int, int, str, int, Dict[str, Any]]
+
+
+class Tracer:
+    """Bounded ring buffer of structured protocol events."""
+
+    __slots__ = ("sim", "buf", "capacity", "emitted", "dropped")
+
+    def __init__(self, sim, capacity: int = 1 << 16) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.buf: Deque[Event] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.dropped = 0
+
+    def emit(self, kind: str, node: int, t: Optional[int] = None, **fields) -> int:
+        """Record one event; returns its sequence number.
+
+        ``t`` defaults to the simulator's current time — instrumentation
+        points that know a more precise component-local time pass it
+        explicitly.
+        """
+        seq = self.emitted
+        self.emitted += 1
+        if len(self.buf) == self.capacity:
+            self.dropped += 1
+        self.buf.append((seq, self.sim.now if t is None else t, kind, node, fields))
+        return seq
+
+    def __len__(self) -> int:
+        return len(self.buf)
+
+    # -- queries ---------------------------------------------------------------
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        node: Optional[int] = None,
+    ) -> List[Event]:
+        """Buffered events, optionally filtered by kind and/or node."""
+        return [
+            ev
+            for ev in self.buf
+            if (kind is None or ev[2] == kind) and (node is None or ev[3] == node)
+        ]
+
+    def tail(self, n: int) -> List[Event]:
+        """The most recent ``n`` buffered events."""
+        if n <= 0:
+            return []
+        return list(self.buf)[-n:]
+
+    def window(self, seq: int, before: int = 20, after: int = 20) -> List[Event]:
+        """Buffered events with sequence numbers in ``[seq-before, seq+after]``.
+
+        This is the violation-debugging view: pass the sequence number a
+        :class:`~repro.trace.invariants.InvariantViolation` carries and get
+        the surrounding protocol activity (as much of it as the ring still
+        holds).
+        """
+        lo, hi = seq - before, seq + after
+        return [ev for ev in self.buf if lo <= ev[0] <= hi]
+
+    # -- export ----------------------------------------------------------------
+
+    @staticmethod
+    def event_dict(ev: Event) -> Dict[str, Any]:
+        seq, t, kind, node, fields = ev
+        return {"seq": seq, "t": t, "kind": kind, "node": node, **fields}
+
+    @staticmethod
+    def format_event(ev: Event) -> str:
+        seq, t, kind, node, fields = ev
+        detail = " ".join(f"{k}={v}" for k, v in fields.items())
+        return f"[{seq:>8d}] t={t:<10d} n{node:<3d} {kind:<14s} {detail}"
+
+    def to_jsonl(self, out: TextIO, events: Optional[List[Event]] = None) -> int:
+        """Write events (default: the whole buffer) as JSON Lines.
+
+        Returns the number of lines written.  Non-JSON-native field values
+        (e.g. sets of word offsets) are stringified.
+        """
+        evs = list(self.buf) if events is None else events
+        for ev in evs:
+            out.write(json.dumps(self.event_dict(ev), default=_jsonable))
+            out.write("\n")
+        return len(evs)
+
+
+def _jsonable(v):
+    if isinstance(v, (set, frozenset)):
+        return sorted(v)
+    return str(v)

@@ -143,6 +143,20 @@ class TestWriteBuffer:
         with pytest.raises(ValueError):
             WriteBuffer(0)
 
+    def test_fifo_is_a_deque(self):
+        # O(1) head retirement: list.pop(0) was O(n) per retire.
+        from collections import deque
+
+        wb = WriteBuffer(64)
+        for b in range(64):
+            wb.add(b, 0)
+        assert isinstance(wb.order, deque)
+        retired = []
+        while not wb.empty:
+            retired.append(wb.head())
+            wb.retire_head()
+        assert retired == list(range(64))
+
 
 class TestCoalescingBuffer:
     def test_merge_same_block(self):
@@ -186,3 +200,12 @@ class TestCoalescingBuffer:
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
             CoalescingBuffer(0)
+
+    def test_fifo_is_a_deque(self):
+        from collections import deque
+
+        cb = CoalescingBuffer(8)
+        for b in range(12):
+            cb.add(b, {0})
+        assert isinstance(cb.order, deque)
+        assert list(cb.order) == list(range(4, 12))  # oldest 4 displaced

@@ -359,6 +359,45 @@ class TestSyncPrimitives:
         r = run(m, [producer(0), consumer(1)])
         assert r.stats.procs[1].sync_stall < 2000
 
+    @pytest.mark.parametrize("proto", ["sc", "erc", "lrc", "lrc-ext"])
+    def test_flag_traffic_uses_flag_message_types(self, proto):
+        """Flag sync sends FLAG_SET/FLAG_WAIT/FLAG_GRANT, not LOCK_* —
+        the per-type traffic counters must tell them apart."""
+        m = Machine(cfg(2), protocol=proto)
+
+        def producer(pid):
+            yield (COMPUTE, 500)
+            yield (SET_FLAG, 5)
+
+        def consumer(pid):
+            yield (WAIT_FLAG, 5)
+
+        r = run(m, [producer(0), consumer(1)])
+        c = r.traffic.count
+        assert c[MsgType.FLAG_SET] == 1
+        assert c[MsgType.FLAG_WAIT] == 1
+        assert c[MsgType.FLAG_GRANT] == 1
+        assert c[MsgType.LOCK_REQ] == 0
+        assert c[MsgType.LOCK_GRANT] == 0
+        assert c[MsgType.LOCK_RELEASE] == 0
+
+    @pytest.mark.parametrize("proto", ["sc", "erc", "lrc", "lrc-ext"])
+    def test_block_reason_naming(self, proto):
+        from repro.core.processor import B_SYNC, B_WB
+
+        m = Machine(cfg(2), protocol=proto)
+        proc = m.nodes[0].proc
+        assert proc.block_reason is None
+        assert not proc.blocked_on_write_buffer
+        proc.blocked = True
+        proc._block_bucket = B_WB
+        assert proc.block_reason == "write-buffer"
+        assert proc.blocked_on_write_buffer
+        proc._block_bucket = B_SYNC
+        assert proc.block_reason == "sync"
+        assert not proc.blocked_on_write_buffer
+        proc.blocked = False
+
     def test_lock_ids_and_flag_ids_do_not_collide(self):
         m = Machine(cfg(2), protocol="lrc")
 

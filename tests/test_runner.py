@@ -139,3 +139,32 @@ class TestFaultHandling:
                 SPECS[:2], jobs=2, store=ResultStore(tmp_path / "rs"),
                 timeout=0.2,
             )
+
+    def test_degraded_serial_path_honors_timeout(self, tmp_path, monkeypatch):
+        """jobs=1 used to silently fall back to run_serial, dropping the
+        timeout (and retry) guarantees on the floor."""
+        import time as _time
+
+        monkeypatch.setattr(ExperimentSpec, "run", lambda self: _time.sleep(60))
+        with pytest.raises(ExperimentError, match="timed out"):
+            run_parallel(
+                SPECS[:2], jobs=1, store=ResultStore(tmp_path / "rs"),
+                timeout=0.2,
+            )
+
+    def test_single_spec_honors_timeout(self, tmp_path, monkeypatch):
+        """A one-element spec list also degrades to jobs=1; the timeout
+        must still be supervised."""
+        import time as _time
+
+        monkeypatch.setattr(ExperimentSpec, "run", lambda self: _time.sleep(60))
+        with pytest.raises(ExperimentError, match="timed out"):
+            run_parallel(
+                SPECS[:1], jobs=4, store=ResultStore(tmp_path / "rs"),
+                timeout=0.2,
+            )
+
+    def test_degraded_path_without_timeout_runs_in_process(self, tmp_path):
+        results = run_parallel(SPECS[:1], jobs=1, store=None)
+        assert set(results) == set(SPECS[:1])
+        assert results[SPECS[0]].exec_time > 0

@@ -112,6 +112,33 @@ class TestFingerprint:
         assert back.fingerprint() == s.fingerprint()
 
 
+class TestTransientFields:
+    def test_check_invariants_not_fingerprinted(self):
+        # The checker is pure observation: a checked and an unchecked
+        # spec must share one result-store slot and one memo entry.
+        base = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
+        checked = base.with_(check_invariants=True)
+        assert checked.check_invariants
+        assert checked.fingerprint() == base.fingerprint()
+        assert checked == base
+        assert hash(checked) == hash(base)
+
+    def test_to_dict_roundtrips_check_invariants(self):
+        s = ExperimentSpec("mp3d", "lrc", small=True, check_invariants=True)
+        d = s.to_dict()
+        assert d["check_invariants"] is True
+        assert ExperimentSpec.from_dict(d).check_invariants
+
+    def test_from_dict_accepts_old_dicts(self):
+        # Dicts persisted before the field existed must still load.
+        s = ExperimentSpec("mp3d", "lrc", small=True)
+        d = s.to_dict()
+        d.pop("check_invariants")
+        back = ExperimentSpec.from_dict(d)
+        assert back == s
+        assert not back.check_invariants
+
+
 class TestBackCompat:
     def test_run_experiment_builds_the_same_memo_entry(self):
         clear_cache()
