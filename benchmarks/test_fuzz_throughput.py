@@ -1,0 +1,56 @@
+"""Conformance-fuzzer throughput benchmarks (DESIGN.md §9).
+
+The fuzzer's value ceiling is iterations per unit time: these benchmarks
+time the three pieces a campaign is made of — program generation, the
+sequential oracle, and a full differential iteration across all four
+protocols — so regressions in fuzz throughput show up next to the
+simulator benchmarks they gate.
+"""
+
+from benchmarks.conftest import once, record
+from repro.conformance import fuzz_iteration, generate, interpret
+
+PROCS = 8
+N_OPS = 120
+
+
+def test_generator_throughput(benchmark):
+    def run():
+        total = 0
+        for seed in range(50):
+            total += generate(seed, PROCS, n_ops=N_OPS).op_count()
+        return total
+
+    ops = once(benchmark, run)
+    text = f"Fuzz generator: 50 programs ({PROCS}p, ~{N_OPS} ops/proc), {ops} ops total"
+    print("\n" + text)
+    record(text)
+    assert ops > 50 * N_OPS  # budget is per processor; programs exceed it
+
+
+def test_oracle_throughput(benchmark):
+    specs = [generate(seed, PROCS, n_ops=N_OPS) for seed in range(20)]
+
+    def run():
+        results = [interpret(s) for s in specs]
+        assert all(r.ok for r in results)
+        return len(results)
+
+    n = once(benchmark, run)
+    text = f"Sequential oracle: {n} programs interpreted and race-checked"
+    print("\n" + text)
+    record(text)
+
+
+def test_differential_iteration(benchmark):
+    def run():
+        return fuzz_iteration(
+            0, seed=0, n_procs=PROCS, n_ops=N_OPS,
+            protocols=("sc", "erc", "lrc", "lrc-ext"),
+        )
+
+    failures = once(benchmark, run)
+    text = "Differential iteration: 1 program x 4 protocols, oracle-clean"
+    print("\n" + text)
+    record(text)
+    assert failures == []

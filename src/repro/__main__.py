@@ -6,6 +6,7 @@
     python -m repro figures --jobs 4 --procs 16 --small
     python -m repro figures --only t3 f4 --jobs 4
     python -m repro trace locusroute --protocol sc --procs 4 --small
+    python -m repro fuzz --seed 0 --iters 50 --procs 8
 
 ``figures`` regenerates the paper's tables and figures, fanning the
 underlying simulations out over ``--jobs`` worker processes and caching
@@ -211,6 +212,43 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.conformance import fuzz_run, write_reproducers
+    from repro.conformance.fuzz import replay_reproducer
+
+    say = lambda s: print(s, file=sys.stderr)
+    if args.replay:
+        return replay_reproducer(args.replay, window=args.window, log=say)
+    protocols = tuple(args.protocols)
+    summary = fuzz_run(
+        seed=args.seed,
+        iters=args.iters,
+        n_procs=args.procs,
+        n_ops=args.n_ops,
+        protocols=protocols,
+        do_minimize=args.minimize,
+        jobs=args.jobs,
+        window=args.window,
+        log=say,
+    )
+    failures = summary["failures"]
+    if not failures:
+        print(
+            f"fuzz: {args.iters} programs x {len(protocols)} protocols "
+            f"({', '.join(protocols)}), {args.procs} procs: all clean"
+        )
+        return 0
+    if args.out:
+        write_reproducers(summary, args.out)
+        say(f"reproducers written to {args.out}")
+    for f in failures:
+        print(f"FAIL seed={f['seed']} {f['protocol']} {f['reason']}: {f['message']}")
+        for line in f.get("trace_window") or []:
+            print(f"    {line}")
+    print(f"fuzz: {len(failures)} failure(s) in {args.iters} iterations")
+    return 1
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -294,6 +332,43 @@ def main(argv=None) -> int:
         help="also export the buffered events as JSON Lines",
     )
 
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="randomized-program conformance fuzzing: generated DRF "
+        "programs under every protocol, checked against a sequential "
+        "oracle; failures are minimized to small reproducers",
+    )
+    p_fz.add_argument("--seed", type=int, default=0)
+    p_fz.add_argument("--iters", type=int, default=50)
+    p_fz.add_argument("--procs", type=int, default=8)
+    p_fz.add_argument("--n-ops", type=int, default=120,
+                      help="target ops per processor (default 120)")
+    p_fz.add_argument(
+        "--protocols", nargs="*", default=["sc", "erc", "lrc", "lrc-ext"],
+        choices=sorted(PROTOCOLS), metavar="PROTO",
+    )
+    p_fz.add_argument(
+        "--minimize", action=argparse.BooleanOptionalAction, default=True,
+        help="delta-debug failing programs to minimal reproducers",
+    )
+    p_fz.add_argument(
+        "--jobs", type=int, default=1,
+        help="verify iterations in parallel worker processes first; "
+        "failures are re-diagnosed sequentially",
+    )
+    p_fz.add_argument(
+        "--window", type=int, default=12,
+        help="trace events to print around a violation (default 12)",
+    )
+    p_fz.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write failing programs + minimized reproducers as JSON",
+    )
+    p_fz.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-run the reproducers in a fuzz JSON report instead of fuzzing",
+    )
+
     args = ap.parse_args(argv)
     if args.cmd == "list":
         return _cmd_list(args)
@@ -303,6 +378,8 @@ def main(argv=None) -> int:
         return _cmd_figures(args)
     if args.cmd == "trace":
         return _cmd_trace(args)
+    if args.cmd == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_compare(args)
 
 

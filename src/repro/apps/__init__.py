@@ -16,6 +16,7 @@ from repro.apps.barnes import BarnesHut
 from repro.apps.cholesky import Cholesky
 from repro.apps.locusroute import LocusRoute
 from repro.apps.mp3d import MP3D
+from repro.apps.fuzz_app import Fuzz
 
 __all__ = [
     "App",
@@ -28,4 +29,5 @@ __all__ = [
     "Cholesky",
     "LocusRoute",
     "MP3D",
+    "Fuzz",
 ]

@@ -1,0 +1,48 @@
+"""Randomized conformance workload (DESIGN.md §9).
+
+Unlike the SPLASH re-implementations, ``fuzz`` is not a model of any
+real program: it materializes a seeded, data-race-free random program
+from :mod:`repro.conformance.generator` so the differential oracles of
+:mod:`repro.conformance.fuzz` can check a protocol's *values*, not just
+its timing.  The program is a pure function of ``(config.seed, n_procs,
+n_ops, mode)``, so the same :class:`~repro.harness.spec.ExperimentSpec`
+(with a ``seed`` override selecting the iteration) regenerates the same
+reference streams in every worker process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from repro.apps.common import App, register
+from repro.conformance.generator import generate
+from repro.conformance.program import ProgramSpec, materialize
+
+
+@register
+class Fuzz(App):
+    name = "fuzz"
+
+    def setup(
+        self,
+        n_ops: int = 120,
+        mode: str = "auto",
+        program: Optional[Union[ProgramSpec, str, dict]] = None,
+    ) -> None:
+        """``program`` (a spec, its dict, or its JSON) bypasses generation
+        — used to replay and minimize saved reproducers."""
+        if program is None:
+            program = generate(self.cfg.seed, self.n_procs, n_ops=n_ops, mode=mode)
+        elif isinstance(program, str):
+            program = ProgramSpec.from_json(program)
+        elif isinstance(program, dict):
+            program = ProgramSpec.from_dict(program)
+        if program.n_procs != self.n_procs:
+            raise ValueError(
+                f"program wants {program.n_procs} processors, machine has {self.n_procs}"
+            )
+        self.spec = program
+        self.seg = self.space.alloc(program.n_words * 8, "fuzz")
+
+    def program(self, pid: int) -> Iterator:
+        return materialize(self.spec.proc_ops(pid), self.seg.base)

@@ -1,0 +1,42 @@
+"""Randomized-program conformance testing (DESIGN.md §9).
+
+A seeded generator emits data-race-free multi-processor programs; a
+sequential reference interpreter provides the expected values (RC == SC
+for DRF programs); a value-tracking shadow memory checks every read the
+simulator performs; and a differential harness runs each program under
+all four protocols, minimizing any failure to a small reproducer.
+"""
+
+from repro.conformance.fuzz import (
+    FuzzFailure,
+    PROTOCOLS_UNDER_TEST,
+    fuzz_iteration,
+    fuzz_run,
+    run_one,
+    verify_run,
+    write_reproducers,
+)
+from repro.conformance.generator import generate
+from repro.conformance.minimize import minimize
+from repro.conformance.oracle import OracleResult, interpret
+from repro.conformance.program import ProgramSpec, Unit, materialize
+from repro.conformance.shadow import ConformanceViolation, ValueModel
+
+__all__ = [
+    "ConformanceViolation",
+    "FuzzFailure",
+    "OracleResult",
+    "PROTOCOLS_UNDER_TEST",
+    "ProgramSpec",
+    "Unit",
+    "ValueModel",
+    "fuzz_iteration",
+    "fuzz_run",
+    "generate",
+    "interpret",
+    "materialize",
+    "minimize",
+    "run_one",
+    "verify_run",
+    "write_reproducers",
+]

@@ -1,0 +1,441 @@
+"""Differential conformance fuzzing across the four protocols.
+
+One *iteration* generates a DRF program (pure function of the seed),
+runs the sequential oracle, then executes the program under each
+protocol on a small-cache machine with the invariant checker and the
+value model enabled.  A protocol run fails if:
+
+* the value model observes an impossible read (:class:`ConformanceViolation`),
+* the invariant checker fires, the machine deadlocks, or the run
+  exceeds the cycle ceiling,
+* the final memory image disagrees with the oracle (RC == SC for DRF
+  programs, so *every* protocol must produce the oracle's image),
+* the per-processor operation counts disagree with the oracle (an op
+  was lost or double-counted), or
+* protocol-structural counters are impossible for the protocol family
+  (a write-back under write-through LRC, an acquire-time invalidation
+  under eager RC, ...).
+
+On failure the harness re-runs the failing protocol with the tracer
+attached to render a violation-anchored event window, delta-debugs the
+program to a minimal reproducer (:mod:`repro.conformance.minimize`),
+and serializes everything as JSON.
+
+The clean path can fan iterations out over worker processes through the
+standard :class:`~repro.harness.spec.ExperimentSpec` / ``run_parallel``
+machinery (``jobs > 1``): ``REPRO_VALUE_CHECK=1`` makes
+:meth:`ExperimentSpec.run` verify fuzz runs in-worker, and any failure
+degrades to the sequential path for diagnosis and minimization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.conformance.generator import generate
+from repro.conformance.minimize import minimize
+from repro.conformance.oracle import COUNT_KEYS, OracleResult, interpret, token_str
+from repro.conformance.program import ProgramSpec
+from repro.conformance.shadow import ConformanceViolation
+
+PROTOCOLS_UNDER_TEST = ("sc", "erc", "lrc", "lrc-ext")
+
+#: Cache size for fuzz machines: small enough that conformance programs
+#: see real capacity/conflict evictions, still a power-of-two set count.
+FUZZ_CACHE = 2048
+
+#: Per-run cycle ceiling — a protocol bug that livelocks (lost wakeup,
+#: re-fetch loop) fails the run instead of hanging the fuzzer.
+FUZZ_MAX_CYCLES = 50_000_000
+
+
+@dataclass
+class FuzzFailure:
+    """One protocol's failure on one generated program."""
+
+    iteration: int
+    seed: int
+    protocol: str
+    reason: str           # violation | invariant | deadlock | oracle | structural
+    message: str
+    program: dict
+    minimized: Optional[dict] = None
+    trace_window: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "seed": self.seed,
+            "protocol": self.protocol,
+            "reason": self.reason,
+            "message": self.message,
+            "program": self.program,
+            "minimized": self.minimized,
+            "trace_window": self.trace_window,
+        }
+
+
+def fuzz_config(n_procs: int, seed: int):
+    from repro.harness.presets import bench_config
+
+    return bench_config(n_procs=n_procs, cache_size=FUZZ_CACHE, seed=seed)
+
+
+def build_machine(
+    spec: ProgramSpec, protocol: str, trace: bool = False
+):
+    """A fresh fuzz machine + app for one program under one protocol."""
+    from repro.apps import APPS
+    from repro.core.machine import Machine
+
+    machine = Machine(
+        fuzz_config(spec.n_procs, spec.seed),
+        protocol=protocol,
+        max_cycles=FUZZ_MAX_CYCLES,
+        trace=trace,
+        check_invariants=True,
+        value_model=True,
+    )
+    app = APPS["fuzz"](machine, program=spec)
+    return machine, app
+
+
+def structural_errors(machine) -> List[str]:
+    """Counter values impossible for the machine's protocol family."""
+    s = machine.stats
+    name = machine.protocol_name
+    errs = []
+    if machine.protocol.write_through:
+        if s.writebacks:
+            errs.append(f"{name} performed {s.writebacks} dirty writebacks")
+        if s.eager_invalidations:
+            errs.append(f"{name} sent {s.eager_invalidations} eager invalidations")
+        if name != "lrc-ext" and s.deferred_notices:
+            errs.append(f"{name} deferred {s.deferred_notices} write notices")
+    else:
+        if s.write_throughs:
+            errs.append(f"{name} issued {s.write_throughs} write-throughs")
+        if s.acquire_invalidations:
+            errs.append(
+                f"{name} invalidated {s.acquire_invalidations} lines at acquires"
+            )
+        if s.deferred_notices:
+            errs.append(f"{name} deferred {s.deferred_notices} write notices")
+    return errs
+
+
+def verify_run(machine, app, oracle: Optional[OracleResult] = None) -> None:
+    """End-of-run oracle comparison; raises :class:`ConformanceViolation`.
+
+    Called after a clean ``machine.run`` (the final global barrier has
+    drained every buffer).  Checks final memory, the call-order shadow,
+    per-processor op counts, and the structural counters.
+    """
+    spec = app.spec
+    if oracle is None:
+        oracle = interpret(spec)
+    if not oracle.ok:
+        raise RuntimeError(
+            f"oracle rejected the program (generator/minimizer bug): "
+            f"races={oracle.races[:3]} error={oracle.error}"
+        )
+    vm = machine.valmodel
+    base_word = app.seg.base // 8
+    errs: List[str] = []
+
+    mem = vm.final_memory()
+    for w in sorted(oracle.final):
+        got = mem.get(base_word + w)
+        want = oracle.final[w]
+        if got != want:
+            errs.append(
+                f"final memory word {w}: machine {token_str(got)}, "
+                f"oracle {token_str(want)}"
+            )
+            if len(errs) >= 8:
+                break
+    if not errs:
+        # The call-order shadow must also match: a divergence here means
+        # the simulator realized an hb-inconsistent schedule.
+        for w in sorted(oracle.final):
+            got = vm.shadow.get(base_word + w)
+            want = oracle.final[w]
+            if got != want:
+                errs.append(
+                    f"shadow word {w}: {token_str(got)} != oracle "
+                    f"{token_str(want)} (schedule divergence)"
+                )
+                if len(errs) >= 8:
+                    break
+
+    for p, want in enumerate(oracle.counts):
+        st = machine.stats.procs[p]
+        got = {k: getattr(st, k) for k in COUNT_KEYS}
+        if got != want:
+            errs.append(f"p{p} op counts {got} != oracle {want}")
+
+    errs.extend(structural_errors(machine))
+    if errs:
+        raise ConformanceViolation("; ".join(errs[:8]))
+
+
+def run_one(
+    spec: ProgramSpec,
+    protocol: str,
+    oracle: Optional[OracleResult] = None,
+    trace: bool = False,
+):
+    """Run one program under one protocol.
+
+    Returns ``(reason, message, machine)`` on failure, or ``None`` on a
+    clean, oracle-agreeing run.
+    """
+    from repro.engine.simulator import DeadlockError
+    from repro.trace.invariants import InvariantViolation
+
+    machine, app = build_machine(spec, protocol, trace=trace)
+    try:
+        machine.run([app.program(p) for p in range(spec.n_procs)])
+    except ConformanceViolation as e:
+        return ("violation", str(e), machine)
+    except InvariantViolation as e:
+        return ("invariant", str(e), machine)
+    except DeadlockError as e:
+        return ("deadlock", str(e), machine)
+    except RuntimeError as e:
+        return ("deadlock", f"cycle ceiling: {e}", machine)
+    try:
+        verify_run(machine, app, oracle)
+    except ConformanceViolation as e:
+        return ("oracle", str(e), machine)
+    return None
+
+
+def _trace_window(spec: ProgramSpec, protocol: str, window: int) -> List[str]:
+    """Re-run a failing combination with the tracer for context lines."""
+    failure = run_one(spec, protocol, trace=True)
+    if failure is None:
+        return []
+    machine = failure[2]
+    tracer = machine.tracer
+    if tracer is None:
+        return []
+    violations = tracer.events(kind="violation")
+    if violations:
+        anchor = violations[0][0]
+        lines = [
+            tracer.format_event(e)
+            for e in tracer.window(anchor, before=window, after=window)
+        ]
+    else:
+        lines = [tracer.format_event(e) for e in tracer.tail(window)]
+    return lines
+
+
+def make_fail_predicate(protocol: str) -> Callable[[ProgramSpec], bool]:
+    """The minimizer's test: does the protocol still fail this program?"""
+
+    def fails(candidate: ProgramSpec) -> bool:
+        return run_one(candidate, protocol) is not None
+
+    return fails
+
+
+def fuzz_iteration(
+    iteration: int,
+    seed: int,
+    n_procs: int,
+    n_ops: int,
+    protocols: Sequence[str],
+    mode: str = "auto",
+    do_minimize: bool = True,
+    window: int = 12,
+) -> List[FuzzFailure]:
+    """Generate one program and run it under every protocol."""
+    spec = generate(seed, n_procs, n_ops=n_ops, mode=mode)
+    oracle = interpret(spec)
+    if not oracle.ok:
+        raise RuntimeError(
+            f"seed {seed}: generator produced an invalid program: "
+            f"races={oracle.races[:3]} error={oracle.error}"
+        )
+    failures = []
+    for protocol in protocols:
+        failure = run_one(spec, protocol, oracle)
+        if failure is None:
+            continue
+        reason, message, _machine = failure
+        f = FuzzFailure(
+            iteration=iteration,
+            seed=seed,
+            protocol=protocol,
+            reason=reason,
+            message=message,
+            program=spec.to_dict(),
+            trace_window=_trace_window(spec, protocol, window),
+        )
+        if do_minimize:
+            small = minimize(spec, make_fail_predicate(protocol))
+            f.minimized = small.to_dict()
+        failures.append(f)
+    return failures
+
+
+def _parallel_clean_scan(
+    seeds: List[int],
+    n_procs: int,
+    protocols: Sequence[str],
+    jobs: int,
+) -> Optional[List[int]]:
+    """Try to clear many iterations at once across worker processes.
+
+    Returns the list of seeds that verified clean, or ``None`` if any
+    worker failed (the caller falls back to the sequential path, which
+    diagnoses and minimizes).  Workers verify in-process via
+    ``REPRO_VALUE_CHECK`` (see :meth:`ExperimentSpec.run`).
+    """
+    from repro.harness.runner import ExperimentError, run_parallel
+    from repro.harness.spec import ExperimentSpec
+
+    specs = [
+        ExperimentSpec(
+            app="fuzz",
+            protocol=protocol,
+            n_procs=n_procs,
+            overrides=(("seed", seed), ("cache_size", FUZZ_CACHE)),
+            check_invariants=True,
+        )
+        for seed in seeds
+        for protocol in protocols
+    ]
+    prev = os.environ.get("REPRO_VALUE_CHECK")
+    os.environ["REPRO_VALUE_CHECK"] = "1"
+    try:
+        run_parallel(specs, jobs=jobs, store=None, retries=0)
+    except ExperimentError:
+        return None
+    finally:
+        if prev is None:
+            del os.environ["REPRO_VALUE_CHECK"]
+        else:
+            os.environ["REPRO_VALUE_CHECK"] = prev
+    return seeds
+
+
+def fuzz_run(
+    seed: int = 0,
+    iters: int = 50,
+    n_procs: int = 8,
+    n_ops: int = 120,
+    protocols: Sequence[str] = PROTOCOLS_UNDER_TEST,
+    mode: str = "auto",
+    do_minimize: bool = True,
+    jobs: int = 1,
+    window: int = 12,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """The ``repro fuzz`` campaign: ``iters`` programs, each under every
+    protocol.  Returns a summary dict; ``summary["failures"]`` is empty
+    iff every run agreed with the oracle."""
+    say = log or (lambda s: None)
+    seeds = [seed + i for i in range(iters)]
+    failures: List[FuzzFailure] = []
+    done = 0
+
+    if jobs > 1:
+        # Workers regenerate programs from the "fuzz" app preset, so the
+        # parallel scan is only equivalent to the sequential path when
+        # the campaign uses the preset generation parameters.
+        from repro.harness.presets import APP_PRESETS
+
+        preset = APP_PRESETS["fuzz"]
+        if n_ops != preset["n_ops"] or mode != preset["mode"]:
+            say("non-default n_ops/mode: running sequentially")
+            jobs = 1
+
+    if jobs > 1:
+        cleared = _parallel_clean_scan(seeds, n_procs, protocols, jobs)
+        if cleared is not None:
+            say(f"{iters} iterations x {len(protocols)} protocols clean "
+                f"(parallel, {jobs} jobs)")
+            return {"iters": iters, "protocols": list(protocols),
+                    "n_procs": n_procs, "failures": []}
+        say("parallel scan reported a failure; rerunning sequentially")
+
+    for i, it_seed in enumerate(seeds):
+        fs = fuzz_iteration(
+            i, it_seed, n_procs, n_ops, protocols,
+            mode=mode, do_minimize=do_minimize, window=window,
+        )
+        done += 1
+        if fs:
+            failures.extend(fs)
+            for f in fs:
+                mini = f.minimized
+                say(
+                    f"iteration {i} (seed {it_seed}) {f.protocol}: "
+                    f"{f.reason}: {f.message}"
+                    + (
+                        f" [minimized to "
+                        f"{ProgramSpec.from_dict(mini).op_count()} ops]"
+                        if mini else ""
+                    )
+                )
+        elif (i + 1) % 10 == 0:
+            say(f"{i + 1}/{iters} iterations clean")
+    return {
+        "iters": iters,
+        "protocols": list(protocols),
+        "n_procs": n_procs,
+        "failures": [f.to_dict() for f in failures],
+    }
+
+
+def write_reproducers(summary: Dict, path: str) -> None:
+    """Serialize a failing campaign's reproducers as JSON."""
+    with open(path, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+
+
+def replay_reproducer(
+    path: str,
+    window: int = 12,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Re-run every reproducer in a fuzz JSON report.
+
+    Prefers the minimized program when present.  Returns a process exit
+    code: 1 if any reproducer still fails, 0 if all run clean (the bug
+    was fixed since the report was written).
+    """
+    say = log or (lambda s: None)
+    with open(path) as fh:
+        summary = json.load(fh)
+    failures = summary.get("failures", [])
+    if not failures:
+        say(f"{path}: no reproducers recorded")
+        return 0
+    still_failing = 0
+    for i, f in enumerate(failures):
+        spec = ProgramSpec.from_dict(f.get("minimized") or f["program"])
+        oracle = interpret(spec)
+        if not oracle.ok:
+            say(f"reproducer {i}: oracle rejects the program: {oracle.error}")
+            still_failing += 1
+            continue
+        outcome = run_one(spec, f["protocol"], oracle)
+        if outcome is None:
+            say(f"reproducer {i} ({f['protocol']}, {spec.op_count()} ops): clean")
+            continue
+        still_failing += 1
+        reason, message, _machine = outcome
+        say(f"reproducer {i} ({f['protocol']}, {spec.op_count()} ops) "
+            f"STILL FAILS: {reason}: {message}")
+        for line in _trace_window(spec, f["protocol"], window):
+            say(f"    {line}")
+    say(f"{still_failing}/{len(failures)} reproducers still failing")
+    return 1 if still_failing else 0

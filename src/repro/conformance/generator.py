@@ -1,0 +1,289 @@
+"""Seeded generator of data-race-free conformance programs.
+
+The generator composes *episodes* — synchronization-complete program
+fragments — into a :class:`~repro.conformance.program.ProgramSpec`.
+Every episode is built so the whole program is data-race-free by
+construction, which is what licenses the differential oracle (for DRF
+programs, release consistency must produce the same values as
+sequential consistency — Section 2 of the paper):
+
+* **init**: processor 0 writes every shared word, then a global barrier
+  — every later read observes a well-defined value;
+* **private bursts**: each processor reads/writes its own scratch range
+  (still coherent memory: exercises capacity/conflict evictions) and
+  reads the read-only region written at init;
+* **lock rounds**: a random subset of processors acquires a lock and
+  reads/writes the lock's region inside the critical section; each word
+  of the region has a *fixed* writer (cyclic by pid), so writes to a
+  word are totally ordered by the lock and the final value is
+  schedule-independent — while the *blocks* are multi-writer (false
+  sharing), exercising the lazy protocols' multiple-writer machinery;
+* **flag chains**: a sequence of processors linked by flag set/wait
+  pairs; every processor may read *and write* any word of the chain's
+  region (true multi-writer data), because the chain forces a unique
+  total order — this is the paper's migratory-sharing pattern;
+* **barrier phases**: double-buffered halves — in each round every
+  processor writes its cyclic share of one half and reads the other
+  half (written in the previous round, on the far side of a barrier).
+
+Regions that admit multiple writers (chain regions) are recycled only
+after an intervening global barrier, so accesses from different
+episodes never race.  The program always ends with a global barrier,
+which drains every write buffer and coalescing buffer — the final
+memory image is well-defined and comparable across protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.conformance.program import ProgramSpec, Unit
+
+#: Episode weights for the "mixed" mode.
+_MIX = (
+    ("private", 0.25),
+    ("lock", 0.30),
+    ("chain", 0.20),
+    ("phase", 0.15),
+    ("barrier", 0.10),
+)
+
+_AUTO_MODES = ("mixed", "mixed", "mixed", "migratory", "phases", "producer")
+
+
+class _Layout:
+    """Word-index regions of the shared array."""
+
+    def __init__(self, n_procs: int, wpl: int) -> None:
+        cursor = 0
+
+        def take(n: int) -> Tuple[int, int]:
+            nonlocal cursor
+            lo = cursor
+            cursor += n
+            return (lo, cursor)
+
+        self.ro = take(2 * wpl)
+        self.priv = [take(2 * wpl) for _ in range(n_procs)]
+        self.n_locks = max(2, min(8, n_procs // 2))
+        # Shared regions hold at least 2 words per processor so cyclic
+        # per-word ownership is never empty at any machine size.
+        lock_sz = max(2 * wpl, 2 * n_procs)
+        half_sz = max(4 * wpl, 2 * n_procs)
+        self.lock_regions = [take(lock_sz) for _ in range(self.n_locks)]
+        self.halves = (take(half_sz), take(half_sz))
+        self.chains = [take(2 * wpl) for _ in range(3)]
+        self.n_words = cursor
+
+
+class _Gen:
+    def __init__(self, seed: int, n_procs: int, n_ops: int, mode: str, wpl: int):
+        self.rng = random.Random(seed)
+        self.P = n_procs
+        self.n_ops = n_ops
+        self.wpl = wpl
+        self.lay = _Layout(n_procs, wpl)
+        self.units: List[Unit] = []
+        self._next_barrier = 0
+        self._next_flag = 0
+        self._chain_rr = 0
+        self._dirty_chains: set = set()
+        self.mode = mode
+
+    # -- id/bookkeeping helpers -------------------------------------------------
+
+    def _bid(self) -> int:
+        self._next_barrier += 1
+        return self._next_barrier - 1
+
+    def _fid(self) -> int:
+        self._next_flag += 1
+        return self._next_flag - 1
+
+    def barrier_unit(self) -> None:
+        bid = self._bid()
+        self.units.append(
+            Unit("barrier", {p: [["barrier", bid]] for p in range(self.P)})
+        )
+        self._dirty_chains.clear()
+
+    def _pick_chain_region(self) -> Tuple[int, int]:
+        idx = self._chain_rr % len(self.lay.chains)
+        self._chain_rr += 1
+        if idx in self._dirty_chains:
+            # The region was written since the last global barrier by a
+            # previous chain; a barrier restores the cross-episode
+            # happens-before edge before it is reused.
+            self.barrier_unit()
+        self._dirty_chains.add(idx)
+        return self.lay.chains[idx]
+
+    # -- episodes ---------------------------------------------------------------
+
+    def init_episode(self) -> None:
+        self.units.append(
+            Unit("init", {0: [["write_run", 0, self.lay.n_words, 1]]})
+        )
+        self.barrier_unit()
+
+    def private_episode(self) -> None:
+        rng = self.rng
+        ops: Dict[int, List[list]] = {}
+        for p in range(self.P):
+            lo, hi = self.lay.priv[p]
+            plist: List[list] = []
+            for _ in range(rng.randint(3, 8)):
+                r = rng.random()
+                if r < 0.30:
+                    plist.append(["write", rng.randrange(lo, hi)])
+                elif r < 0.55:
+                    plist.append(["read", rng.randrange(lo, hi)])
+                elif r < 0.70:
+                    count = rng.randint(2, min(12, hi - lo))
+                    stride = rng.randint(1, 2)
+                    base = rng.randrange(lo, hi - (count - 1) * stride)
+                    kind = rng.choice(["read_run", "write_run", "rw_run"])
+                    plist.append([kind, base, count, stride])
+                elif r < 0.85:
+                    plist.append(["read", rng.randrange(*self.lay.ro)])
+                elif r < 0.95:
+                    plist.append(["compute", rng.randint(5, 40)])
+                else:
+                    plist.append(["fence"])
+            ops[p] = plist
+        self.units.append(Unit("private", ops))
+
+    def lock_episode(self) -> None:
+        rng = self.rng
+        k = rng.randrange(self.lay.n_locks)
+        lo, hi = self.lay.lock_regions[k]
+        subset = rng.sample(range(self.P), rng.randint(2, self.P))
+        for _round in range(rng.randint(1, 2)):
+            ops: Dict[int, List[list]] = {}
+            for p in subset:
+                # Words with (w - lo) % P == p are p's to write; reads may
+                # touch anything in the region (ordered by the lock).
+                own = range(lo + p % self.P, hi, self.P)
+                body: List[list] = [["acquire", k]]
+                for _ in range(rng.randint(1, 3)):
+                    body.append(["write", rng.choice(list(own))])
+                for _ in range(rng.randint(0, 3)):
+                    body.append(["read", rng.randrange(lo, hi)])
+                rng.shuffle(body[1:])  # keep the acquire first
+                body.append(["release", k])
+                ops[p] = body
+            self.units.append(Unit(f"lock{k}", ops))
+
+    def chain_episode(self, procs_seq=None, accesses=(1, 3)) -> None:
+        """A flag-linked chain; each link is one unit."""
+        rng = self.rng
+        lo, hi = self._pick_chain_region()
+        if procs_seq is None:
+            procs_seq = rng.sample(range(self.P), rng.randint(2, self.P))
+        flags = [self._fid() for _ in range(len(procs_seq) - 1)]
+        for i, p in enumerate(procs_seq):
+            body: List[list] = []
+            if i > 0:
+                body.append(["wait_flag", flags[i - 1]])
+            for _ in range(rng.randint(*accesses)):
+                if rng.random() < 0.5:
+                    body.append(["write", rng.randrange(lo, hi)])
+                else:
+                    body.append(["read", rng.randrange(lo, hi)])
+            if i < len(procs_seq) - 1:
+                body.append(["set_flag", flags[i]])
+            self.units.append(Unit("link", {p: body}))
+
+    def phase_episode(self, rounds: int = 2) -> None:
+        rng = self.rng
+        for r in range(rounds):
+            wlo, whi = self.lay.halves[r % 2]
+            rlo, rhi = self.lay.halves[(r + 1) % 2]
+            ops: Dict[int, List[list]] = {}
+            for p in range(self.P):
+                max_count = (whi - 1 - (wlo + p)) // self.P + 1
+                count = min(rng.randint(2, 6), max_count)
+                body: List[list] = [
+                    ["write_run", wlo + p, count, self.P],
+                ]
+                for _ in range(rng.randint(1, 3)):
+                    body.append(["read", rng.randrange(rlo, rhi)])
+                ops[p] = body
+            self.units.append(Unit(f"phase{r % 2}", ops))
+            self.barrier_unit()
+
+    def migratory_episode(self, rounds: int) -> None:
+        """One long flag chain passing a region around the ring."""
+        ring = [i % self.P for i in range(rounds * self.P)]
+        self.chain_episode(procs_seq=ring, accesses=(2, 4))
+
+    # -- top level --------------------------------------------------------------
+
+    def build(self) -> ProgramSpec:
+        rng = self.rng
+        mode = self.mode
+        if mode == "auto":
+            mode = rng.choice(_AUTO_MODES)
+        self.init_episode()
+        budget = self.n_ops * self.P
+
+        if mode == "migratory":
+            rounds = max(2, self.n_ops // (4 * self.P) + 1)
+            self.migratory_episode(rounds)
+            self.private_episode()
+        elif mode == "phases":
+            while self.op_total() < budget:
+                self.phase_episode(rounds=rng.randint(1, 3))
+        elif mode == "producer":
+            while self.op_total() < budget:
+                self.chain_episode()
+                if rng.random() < 0.4:
+                    self.private_episode()
+        else:  # mixed
+            while self.op_total() < budget:
+                r = rng.random()
+                acc = 0.0
+                for kind, w in _MIX:
+                    acc += w
+                    if r < acc:
+                        break
+                if kind == "private":
+                    self.private_episode()
+                elif kind == "lock":
+                    self.lock_episode()
+                elif kind == "chain":
+                    self.chain_episode()
+                elif kind == "phase":
+                    self.phase_episode(rounds=1)
+                else:
+                    self.barrier_unit()
+        self.barrier_unit()
+        return ProgramSpec(
+            self.P, self.lay.n_words, self.units, seed=0, mode=mode
+        )
+
+    def op_total(self) -> int:
+        return sum(u.op_count() for u in self.units)
+
+
+def generate(
+    seed: int,
+    n_procs: int,
+    n_ops: int = 120,
+    mode: str = "auto",
+    wpl: int = 16,
+) -> ProgramSpec:
+    """Generate a DRF conformance program.
+
+    ``n_ops`` is the per-processor abstract-op budget; ``wpl`` is the
+    cache-geometry hint (words per line) used to size regions so that
+    false sharing and capacity pressure actually occur.  The result is a
+    pure function of the arguments.
+    """
+    if n_procs < 2:
+        raise ValueError("conformance programs need at least 2 processors")
+    g = _Gen(seed, n_procs, n_ops, mode, wpl)
+    spec = g.build()
+    spec.seed = seed
+    return spec

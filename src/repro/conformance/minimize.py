@@ -1,0 +1,179 @@
+"""Failure minimization for conformance programs.
+
+Given a failing :class:`~repro.conformance.program.ProgramSpec` and a
+predicate ``fails(spec) -> bool`` (the differential harness re-run on
+the candidate), shrink the program while preserving the failure:
+
+1. **Unit-level ddmin** — classic delta debugging over the unit list.
+   Units are synchronization-complete (an acquire with its release, all
+   arrivals of a barrier, a flag's set and wait), so removing units
+   keeps candidates structurally plausible.
+2. **Op-level greedy pass** — drop individual data ops (reads, writes,
+   runs, computes) inside surviving units; sync ops are never removed
+   individually (:data:`~repro.conformance.program.SYNC_KINDS`), only
+   with their whole unit.  Runs are additionally shrunk to shorter
+   counts before being dropped outright.
+3. **Processor shrink** — processors left with no data ops (only
+   barrier arrivals) are removed, the remaining pids renumbered
+   densely, and ``n_procs`` reduced, so the reproducer runs on the
+   smallest machine that still fails.
+
+Every candidate is first validated with the sequential oracle: a
+reduction that introduces a deadlock (dropping a ``set_flag`` whose
+``wait_flag`` survives in the same unit), a data race, or a lock misuse
+is skipped — the minimized program stays a *valid* DRF program whose
+failure is the protocol's fault, not the reducer's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.conformance.oracle import interpret
+from repro.conformance.program import ProgramSpec, SYNC_KINDS, Unit
+
+
+def _valid(spec: ProgramSpec) -> bool:
+    if not spec.units:
+        return False
+    # The final-memory comparison is only licensed after a closing
+    # all-processor barrier (release semantics drain every write
+    # buffer); a candidate that drops it would "fail" on buffered
+    # writes the protocol was never obliged to propagate.
+    last = spec.units[-1]
+    if last.kind != "barrier" or len(last.ops) != spec.n_procs:
+        return False
+    return interpret(spec).ok
+
+
+def _with_units(spec: ProgramSpec, units: List[Unit]) -> ProgramSpec:
+    out = spec.copy()
+    out.units = [u.copy() for u in units]
+    return out
+
+
+def _ddmin_units(
+    spec: ProgramSpec, fails: Callable[[ProgramSpec], bool]
+) -> ProgramSpec:
+    units = list(spec.units)
+    n = 2
+    while len(units) >= 2:
+        chunk = max(1, len(units) // n)
+        reduced = False
+        start = 0
+        while start < len(units):
+            candidate = units[:start] + units[start + chunk:]
+            cspec = _with_units(spec, candidate)
+            if _valid(cspec) and fails(cspec):
+                units = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                # Restart scanning the shrunk list from the beginning.
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(units), n * 2)
+    return _with_units(spec, units)
+
+
+def _shrink_ops(
+    spec: ProgramSpec, fails: Callable[[ProgramSpec], bool]
+) -> ProgramSpec:
+    cur = spec
+    changed = True
+    while changed:
+        changed = False
+        for ui, unit in enumerate(cur.units):
+            for pid in list(unit.ops):
+                oplist = unit.ops[pid]
+                oi = 0
+                while oi < len(oplist):
+                    op = oplist[oi]
+                    if op[0] in SYNC_KINDS:
+                        oi += 1
+                        continue
+                    cand = cur.copy()
+                    del cand.units[ui].ops[pid][oi]
+                    if not cand.units[ui].ops[pid]:
+                        del cand.units[ui].ops[pid]
+                    if _valid(cand) and fails(cand):
+                        cur = cand
+                        unit = cur.units[ui]
+                        oplist = unit.ops.get(pid, [])
+                        changed = True
+                        continue
+                    if op[0] in ("read_run", "write_run", "rw_run") and op[2] > 1:
+                        cand = cur.copy()
+                        half = cand.units[ui].ops[pid][oi]
+                        half[2] = max(1, half[2] // 2)
+                        if _valid(cand) and fails(cand):
+                            cur = cand
+                            unit = cur.units[ui]
+                            oplist = unit.ops[pid]
+                            changed = True
+                            continue
+                    oi += 1
+    # Discard units emptied by the op pass.
+    units = [u for u in cur.units if any(u.ops.values())]
+    if len(units) != len(cur.units):
+        cand = _with_units(cur, units)
+        if _valid(cand) and fails(cand):
+            cur = cand
+    return cur
+
+
+def _only_barriers(spec: ProgramSpec, pid: int) -> bool:
+    for op in spec.proc_ops(pid):
+        if op[0] != "barrier":
+            return False
+    return True
+
+
+def _drop_proc(spec: ProgramSpec, pid: int) -> ProgramSpec:
+    out = spec.copy()
+    out.n_procs = spec.n_procs - 1
+    units: List[Unit] = []
+    for u in out.units:
+        ops = {}
+        for p, v in u.ops.items():
+            if p == pid:
+                continue
+            ops[p - 1 if p > pid else p] = v
+        if ops:
+            units.append(Unit(u.kind, ops))
+    out.units = units
+    return out
+
+
+def _shrink_procs(
+    spec: ProgramSpec, fails: Callable[[ProgramSpec], bool]
+) -> ProgramSpec:
+    cur = spec
+    pid = cur.n_procs - 1
+    while pid >= 0 and cur.n_procs > 2:
+        if _only_barriers(cur, pid):
+            cand = _drop_proc(cur, pid)
+            if _valid(cand) and fails(cand):
+                cur = cand
+        pid -= 1
+    return cur
+
+
+def minimize(
+    spec: ProgramSpec, fails: Callable[[ProgramSpec], bool]
+) -> ProgramSpec:
+    """Shrink ``spec`` to a (1-)minimal program for which ``fails`` holds.
+
+    ``fails`` must return True for ``spec`` itself; the result is the
+    smallest program found that is still a valid DRF program (per the
+    sequential oracle) and still fails.
+    """
+    if not fails(spec):
+        raise ValueError("minimize() called with a spec the predicate passes")
+    cur = _ddmin_units(spec, fails)
+    cur = _shrink_ops(cur, fails)
+    cur = _shrink_procs(cur, fails)
+    return cur

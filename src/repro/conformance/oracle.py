@@ -1,0 +1,221 @@
+"""Sequential reference oracle: interpret a conformance program.
+
+The interpreter executes a :class:`~repro.conformance.program.ProgramSpec`
+under *one* legal synchronization schedule (cooperative round-robin,
+FIFO locks, sticky flags, all-arrive barriers — the same semantics the
+simulator's protocol base class implements) and produces:
+
+* the expected final memory image (``word -> token``), where a token is
+  ``(pid << 32) | k`` for processor ``pid``'s ``k``-th dynamic write in
+  program order — exactly the tokens the runtime value model assigns,
+  so the two are directly comparable;
+* per-processor operation counts (reads/writes/acquires/releases/
+  barriers at the same granularity as :class:`repro.stats.counters.ProcStats`),
+  a protocol-independent invariant of the program;
+* a happens-before **race check** via vector clocks.  For programs that
+  are data-race-free the final memory image is schedule-independent
+  (the classic DRF theorem), so checking one schedule suffices — and a
+  reported race means the *generator or minimizer* produced an invalid
+  program, which would poison the differential oracle.
+
+The interpreter also detects synchronization deadlock (a wait on a flag
+nobody sets, a barrier not reached by every processor), which the
+minimizer uses to discard structurally invalid reduction candidates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.conformance.program import ProgramSpec, expand_accesses
+
+#: Count keys, matching ProcStats semantics (SET_FLAG counts as a
+#: release, WAIT_FLAG as an acquire; fences and computes count nothing).
+COUNT_KEYS = ("reads", "writes", "acquires", "releases", "barriers")
+
+_MAX_RACES = 10
+
+
+def token(pid: int, k: int) -> int:
+    return (pid << 32) | k
+
+
+def token_str(tok: Optional[int]) -> str:
+    if tok is None:
+        return "uninit"
+    return f"p{tok >> 32}#w{tok & 0xFFFFFFFF}"
+
+
+@dataclass
+class OracleResult:
+    final: Dict[int, int] = field(default_factory=dict)
+    counts: List[Dict[str, int]] = field(default_factory=list)
+    races: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.races and self.error is None
+
+
+def _join(a: List[int], b: List[int]) -> None:
+    for i, v in enumerate(b):
+        if v > a[i]:
+            a[i] = v
+
+
+def interpret(spec: ProgramSpec, chunk: int = 256) -> OracleResult:
+    P = spec.n_procs
+    res = OracleResult(counts=[{k: 0 for k in COUNT_KEYS} for _ in range(P)])
+
+    ops = [spec.proc_ops(p) for p in range(P)]
+    ip = [0] * P
+    # Each processor's own component starts at 1, not 0: accesses in p's
+    # first epoch are stamped clock[p][p] and others know 0 of p, and
+    # "0 < stamp" must already read as concurrent.
+    clock = [[1 if q == p else 0 for q in range(P)] for p in range(P)]
+    wcount = [0] * P
+    blocked: List[Optional[tuple]] = [None] * P
+
+    mem: Dict[int, int] = {}
+    last_write: Dict[int, tuple] = {}       # word -> (pid, clk)
+    last_reads: Dict[int, Dict[int, int]] = {}  # word -> {pid: clk}
+
+    locks: Dict[int, dict] = {}
+    flags: Dict[int, dict] = {}
+    barriers: Dict[int, dict] = {}
+
+    def race(msg: str) -> None:
+        if len(res.races) < _MAX_RACES:
+            res.races.append(msg)
+
+    def do_read(p: int, w: int) -> None:
+        lw = last_write.get(w)
+        if lw is not None and clock[p][lw[0]] < lw[1]:
+            race(f"read-write race on word {w}: p{p} reads concurrently "
+                 f"with p{lw[0]}'s write")
+        last_reads.setdefault(w, {})[p] = clock[p][p]
+        res.counts[p]["reads"] += 1
+
+    def do_write(p: int, w: int) -> None:
+        lw = last_write.get(w)
+        if lw is not None and lw[0] != p and clock[p][lw[0]] < lw[1]:
+            race(f"write-write race on word {w}: p{p} and p{lw[0]}")
+        for q, k in last_reads.get(w, {}).items():
+            if q != p and clock[p][q] < k:
+                race(f"write-read race on word {w}: p{p} writes concurrently "
+                     f"with p{q}'s read")
+        mem[w] = token(p, wcount[p])
+        wcount[p] += 1
+        last_write[w] = (p, clock[p][p])
+        last_reads.pop(w, None)
+        res.counts[p]["writes"] += 1
+
+    def step(p: int) -> bool:
+        """Execute one abstract op for ``p``; False if it blocked."""
+        op = ops[p][ip[p]]
+        kind = op[0]
+        if kind in ("read", "write", "read_run", "write_run", "rw_run"):
+            for is_w, w in expand_accesses(op):
+                if is_w:
+                    do_write(p, w)
+                else:
+                    do_read(p, w)
+        elif kind == "compute" or kind == "fence":
+            pass
+        elif kind == "acquire":
+            st = locks.setdefault(op[1], {"held": None, "queue": deque(),
+                                          "vc": [0] * P})
+            if st["held"] is not None:
+                st["queue"].append(p)
+                blocked[p] = ("lock", op[1])
+                return False
+            st["held"] = p
+            _join(clock[p], st["vc"])
+            res.counts[p]["acquires"] += 1
+        elif kind == "release":
+            st = locks.get(op[1])
+            if st is None or st["held"] != p:
+                res.error = f"p{p} releases lock {op[1]} it does not hold"
+                return False
+            st["vc"] = list(clock[p])
+            clock[p][p] += 1
+            res.counts[p]["releases"] += 1
+            if st["queue"]:
+                q = st["queue"].popleft()
+                st["held"] = q
+                _join(clock[q], st["vc"])
+                res.counts[q]["acquires"] += 1
+                ip[q] += 1  # past its blocked acquire
+                blocked[q] = None
+            else:
+                st["held"] = None
+        elif kind == "set_flag":
+            st = flags.setdefault(op[1], {"set": False, "vc": [0] * P,
+                                          "waiters": []})
+            _join(st["vc"], clock[p])
+            st["set"] = True
+            clock[p][p] += 1
+            res.counts[p]["releases"] += 1
+            for q in st["waiters"]:
+                _join(clock[q], st["vc"])
+                res.counts[q]["acquires"] += 1
+                ip[q] += 1
+                blocked[q] = None
+            st["waiters"] = []
+        elif kind == "wait_flag":
+            st = flags.setdefault(op[1], {"set": False, "vc": [0] * P,
+                                          "waiters": []})
+            if not st["set"]:
+                st["waiters"].append(p)
+                blocked[p] = ("flag", op[1])
+                return False
+            _join(clock[p], st["vc"])
+            res.counts[p]["acquires"] += 1
+        elif kind == "barrier":
+            st = barriers.setdefault(op[1], {"arrived": []})
+            st["arrived"].append(p)
+            blocked[p] = ("barrier", op[1])
+            if len(st["arrived"]) == P:
+                joined = [0] * P
+                for q in st["arrived"]:
+                    _join(joined, clock[q])
+                for q in st["arrived"]:
+                    clock[q] = list(joined)
+                    clock[q][q] += 1
+                    res.counts[q]["barriers"] += 1
+                    ip[q] += 1
+                    blocked[q] = None
+                del barriers[op[1]]
+            return False
+        else:
+            res.error = f"unknown abstract op {op!r}"
+            return False
+        ip[p] += 1
+        return True
+
+    # Progress = any instruction pointer advanced during a full pass
+    # (wakes advance the woken processor's ip, so they count too).
+    while True:
+        before = sum(ip)
+        for p in range(P):
+            if blocked[p] is not None or ip[p] >= len(ops[p]):
+                continue
+            budget = chunk
+            while budget and ip[p] < len(ops[p]) and blocked[p] is None:
+                if res.error:
+                    return res
+                if not step(p):
+                    break
+                budget -= 1
+        if sum(ip) == before:
+            break
+
+    stuck = [(p, blocked[p]) for p in range(P) if ip[p] < len(ops[p])]
+    if stuck:
+        res.error = f"synchronization deadlock: {stuck[:4]}"
+        return res
+    res.final = mem
+    return res

@@ -1,0 +1,196 @@
+"""Serializable conformance programs.
+
+A conformance program is a *unit list*: each :class:`Unit` maps a subset
+of processors to a short list of abstract ops.  Per-processor reference
+streams are the concatenation of each unit's ops in unit order, so a
+unit is both the generator's building block (one critical-section round,
+one barrier column, one producer/consumer link) and the minimizer's
+atom: dropping a unit drops a *matched* group of operations (an
+acquire/release pair, every arrival of a barrier, a flag's set *and*
+wait), which keeps delta-debugging candidates synchronization-complete.
+
+Abstract ops address a flat array of 8-byte words (`word index`, not
+byte address); :func:`materialize` rebases them onto a machine segment
+using the op encoding of :mod:`repro.program.ops`.  The same abstract
+form drives the sequential oracle (:mod:`repro.conformance.oracle`), so
+an op stream means exactly one thing to both the simulator and the
+reference interpreter.
+
+Abstract op forms (JSON-friendly lists)::
+
+    ["read", w]                  ["write", w]
+    ["read_run", w, count, stride]   (stride in words, >= 1)
+    ["write_run", w, count, stride]  ["rw_run", w, count, stride]
+    ["compute", cycles]          ["fence"]
+    ["acquire", lock]            ["release", lock]
+    ["barrier", bid]             ["set_flag", fid]   ["wait_flag", fid]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    FENCE,
+    READ,
+    READ_RUN,
+    RELEASE,
+    RW_RUN,
+    SET_FLAG,
+    WAIT_FLAG,
+    WRITE,
+    WRITE_RUN,
+)
+
+#: Abstract opcode -> concrete opcode for ops taking a word address.
+_ADDR_OPS = {"read": READ, "write": WRITE}
+_RUN_OPS = {"read_run": READ_RUN, "write_run": WRITE_RUN, "rw_run": RW_RUN}
+_SYNC_OPS = {
+    "acquire": ACQUIRE,
+    "release": RELEASE,
+    "barrier": BARRIER,
+    "set_flag": SET_FLAG,
+    "wait_flag": WAIT_FLAG,
+}
+
+#: Ops that must never be dropped individually (only with their unit).
+SYNC_KINDS = frozenset(_SYNC_OPS) | {"fence"}
+
+
+class Unit:
+    """One synchronization-complete group of per-processor op lists."""
+
+    __slots__ = ("kind", "ops")
+
+    def __init__(self, kind: str, ops: Dict[int, List[list]]) -> None:
+        self.kind = kind
+        self.ops = ops  # pid -> [abstract op, ...]
+
+    def op_count(self) -> int:
+        return sum(len(v) for v in self.ops.values())
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "ops": {str(p): v for p, v in self.ops.items()}}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Unit":
+        return cls(d["kind"], {int(p): [list(op) for op in v] for p, v in d["ops"].items()})
+
+    def copy(self) -> "Unit":
+        return Unit(self.kind, {p: [list(op) for op in v] for p, v in self.ops.items()})
+
+
+class ProgramSpec:
+    """A complete multi-processor conformance program."""
+
+    __slots__ = ("n_procs", "n_words", "seed", "mode", "units")
+
+    def __init__(
+        self,
+        n_procs: int,
+        n_words: int,
+        units: Sequence[Unit],
+        seed: int = 0,
+        mode: str = "mixed",
+    ) -> None:
+        self.n_procs = n_procs
+        self.n_words = n_words
+        self.units = list(units)
+        self.seed = seed
+        self.mode = mode
+
+    # -- views ------------------------------------------------------------------
+
+    def proc_ops(self, pid: int) -> List[list]:
+        """The abstract op stream of processor ``pid``."""
+        out: List[list] = []
+        for u in self.units:
+            out.extend(u.ops.get(pid, ()))
+        return out
+
+    def op_count(self) -> int:
+        """Total abstract ops across all processors."""
+        return sum(u.op_count() for u in self.units)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "n_procs": self.n_procs,
+            "n_words": self.n_words,
+            "seed": self.seed,
+            "mode": self.mode,
+            "units": [u.to_dict() for u in self.units],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ProgramSpec":
+        return cls(
+            n_procs=d["n_procs"],
+            n_words=d["n_words"],
+            units=[Unit.from_dict(u) for u in d["units"]],
+            seed=d.get("seed", 0),
+            mode=d.get("mode", "mixed"),
+        )
+
+    def to_json(self, **kw) -> str:
+        return json.dumps(self.to_dict(), **kw)
+
+    @classmethod
+    def from_json(cls, s: str) -> "ProgramSpec":
+        return cls.from_dict(json.loads(s))
+
+    def copy(self) -> "ProgramSpec":
+        return ProgramSpec(
+            self.n_procs,
+            self.n_words,
+            [u.copy() for u in self.units],
+            seed=self.seed,
+            mode=self.mode,
+        )
+
+
+def materialize(
+    abstract_ops: Sequence[list], base: int, word_size: int = 8
+) -> Iterator[tuple]:
+    """Translate abstract ops into :mod:`repro.program.ops` tuples."""
+    for op in abstract_ops:
+        kind = op[0]
+        if kind in _ADDR_OPS:
+            yield (_ADDR_OPS[kind], base + op[1] * word_size)
+        elif kind in _RUN_OPS:
+            yield (_RUN_OPS[kind], base + op[1] * word_size, op[2], op[3] * word_size)
+        elif kind == "compute":
+            yield (COMPUTE, op[1])
+        elif kind == "fence":
+            yield (FENCE,)
+        elif kind in _SYNC_OPS:
+            yield (_SYNC_OPS[kind], op[1])
+        else:
+            raise ValueError(f"unknown abstract op {op!r}")
+
+
+def expand_accesses(op: list) -> Iterator[tuple]:
+    """Yield ``(is_write, word)`` element accesses of one abstract op.
+
+    Run ops expand element-by-element in execution order; an ``rw_run``
+    element reads then writes, matching the simulator's CPU model.
+    """
+    kind = op[0]
+    if kind == "read":
+        yield (False, op[1])
+    elif kind == "write":
+        yield (True, op[1])
+    elif kind in _RUN_OPS:
+        _, base, count, stride = op
+        w = base
+        for _ in range(count):
+            if kind != "write_run":
+                yield (False, w)
+            if kind != "read_run":
+                yield (True, w)
+            w += stride

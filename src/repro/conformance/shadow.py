@@ -1,0 +1,259 @@
+"""Value-tracking shadow memory for the conformance fuzzer.
+
+The simulator models protocol *state and timing* but carries no data
+values.  The :class:`ValueModel` shadows every data-carrying structure —
+home memory, per-node cache-line contents, write-buffer entries — with
+*write tokens* (``(pid << 32) | k`` for processor ``pid``'s ``k``-th
+dynamic write), and moves them along exactly the paths the protocol
+moves data: fills copy the home (or dirty owner's) line contents as
+captured when the reply was sent, write-throughs carry the flushed
+words' tokens and merge into home memory on arrival, writebacks deposit
+the owner's line, write-buffer retirement applies buffered tokens to
+the line they were waiting for.
+
+Everything here is **pure observation**, mirroring the classifier and
+tracer idiom (``if vm is not None`` at each hook site): no simulated
+time is read or written, so enabling the model cannot change a cycle.
+
+Every READ is then checkable: the *observed* token (from the structure
+the CPU actually hit — write buffer first, since a processor must see
+its own buffered writes, then the cached line copy) must equal the
+*expected* token from a global call-order shadow updated at each write.
+For data-race-free programs, simulator event order realizes a legal
+happens-before order, so the call-order shadow holds precisely the
+hb-latest write at every read — under *any* correct RC/SC protocol the
+two must agree.  A mismatch is a coherence bug: a stale hit that an
+acquire should have invalidated, a fill that overtook the write-through
+it depended on, a lost buffered word.
+
+One modeled shortcut: the simulator forwards a read from the write
+buffer whenever the *block* has an entry, even for words the entry does
+not hold (the line itself may be absent).  Those reads have no modeled
+data source and are counted in ``unchecked_reads`` instead of checked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.state import RW
+
+
+class ConformanceViolation(RuntimeError):
+    """A read observed a value coherence should have made impossible.
+
+    ``seq`` is the sequence number of the ``violation`` event emitted
+    into the attached tracer (``None`` without a tracer); pass it to
+    :meth:`repro.trace.tracer.Tracer.window` for surrounding context.
+    """
+
+    def __init__(self, message: str, seq: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.seq = seq
+
+
+def token_str(tok: Optional[int]) -> str:
+    if tok is None:
+        return "uninit"
+    return f"p{tok >> 32}#w{tok & 0xFFFFFFFF}"
+
+
+class ValueModel:
+    """Shadow data values through a machine's coherence protocol."""
+
+    __slots__ = (
+        "machine",
+        "wpl",
+        "home",
+        "lines",
+        "wbv",
+        "shadow",
+        "wcount",
+        "pending_read",
+        "checked_reads",
+        "unchecked_reads",
+    )
+
+    def __init__(self, machine) -> None:
+        cfg = machine.config
+        n = cfg.n_procs
+        self.machine = machine
+        self.wpl = cfg.line_size // cfg.word_size
+        #: Home memory: block -> {word offset -> token}.
+        self.home: Dict[int, Dict[int, int]] = {}
+        #: Per-node cache-line contents: block -> {word -> token}.  Line
+        #: copies are *never dropped* — residency lives in the real cache
+        #: (invalidation changes state, not contents); a fill replaces
+        #: the whole per-block dict.
+        self.lines: List[Dict[int, Dict[int, int]]] = [dict() for _ in range(n)]
+        #: Per-node write-buffer values awaiting retirement.
+        self.wbv: List[Dict[int, Dict[int, int]]] = [dict() for _ in range(n)]
+        #: Global call-order shadow: word index -> hb-latest token.
+        self.shadow: Dict[int, int] = {}
+        self.wcount = [0] * n
+        #: One outstanding read miss per CPU: (block, word, expected).
+        self.pending_read: List[Optional[tuple]] = [None] * n
+        self.checked_reads = 0
+        self.unchecked_reads = 0
+
+    # -- failure ---------------------------------------------------------------
+
+    def _fail(self, pid: int, block: int, word: int,
+              observed: Optional[int], expected: Optional[int], where: str) -> None:
+        msg = (
+            f"p{pid} read block {block:#x} word {word} via {where}: "
+            f"observed {token_str(observed)}, expected {token_str(expected)} "
+            f"(protocol {self.machine.protocol_name})"
+        )
+        seq = None
+        tracer = self.machine.tracer
+        if tracer is not None:
+            seq = tracer.emit("violation", pid, block=block, word=word,
+                              message=msg)
+        raise ConformanceViolation(msg, seq)
+
+    def _check(self, pid: int, block: int, word: int,
+               observed: Optional[int], where: str) -> None:
+        expected = self.shadow.get(block * self.wpl + word)
+        if expected is None:
+            # Word never written (init removed by the minimizer, say):
+            # any observation is vacuously legal.
+            self.unchecked_reads += 1
+            return
+        if observed != expected:
+            self._fail(pid, block, word, observed, expected, where)
+        self.checked_reads += 1
+
+    # -- CPU-side hooks (called from the processor) ----------------------------
+
+    def write(self, pid: int, block: int, word: int) -> None:
+        """An accepted dynamic write (fires exactly once per write)."""
+        tok = (pid << 32) | self.wcount[pid]
+        self.wcount[pid] += 1
+        self.shadow[block * self.wpl + word] = tok
+        node = self.machine.nodes[pid]
+        placed = False
+        if node.wb is not None and block in node.wb.words:
+            self.wbv[pid].setdefault(block, {})[word] = tok
+            placed = True
+        line = self.lines[pid].get(block)
+        if line is not None:
+            line[word] = tok
+            placed = True
+        if not placed:
+            self.lines[pid][block] = {word: tok}
+
+    def read_hit(self, pid: int, block: int, word: int) -> None:
+        wv = self.wbv[pid].get(block)
+        tok = wv.get(word) if wv else None
+        if tok is None:
+            line = self.lines[pid].get(block)
+            tok = line.get(word) if line else None
+        self._check(pid, block, word, tok, "cache hit")
+
+    def read_wb(self, pid: int, block: int, word: int) -> None:
+        wv = self.wbv[pid].get(block)
+        tok = wv.get(word) if wv else None
+        if tok is None:
+            # Simulator shortcut: forwards for any word of a buffered
+            # block; the word itself has no modeled source here.
+            self.unchecked_reads += 1
+            return
+        self._check(pid, block, word, tok, "write-buffer forward")
+
+    def read_miss(self, pid: int, block: int, word: int) -> None:
+        """Record the expected value now; the fill resolves it.
+
+        For DRF programs the hb-latest write for this read has already
+        executed (simulator event order realizes happens-before), so
+        capturing at issue equals capturing at the fill.
+        """
+        self.pending_read[pid] = (
+            block, word, self.shadow.get(block * self.wpl + word)
+        )
+
+    # -- protocol-side hooks ---------------------------------------------------
+
+    def home_line(self, block: int) -> Dict[int, int]:
+        """Snapshot of home memory for a fill reply (capture at send)."""
+        d = self.home.get(block)
+        return dict(d) if d else {}
+
+    def owner_line(self, pid: int, block: int) -> Dict[int, int]:
+        """Snapshot of a dirty owner's line (forwarded reads/writes)."""
+        d = self.lines[pid].get(block)
+        return dict(d) if d else {}
+
+    def fill(self, pid: int, block: int, data: Optional[Dict[int, int]]) -> None:
+        """A data fill landed: the line copy becomes the carried data."""
+        self.lines[pid][block] = dict(data) if data else {}
+
+    def read_fill(self, pid: int, block: int) -> None:
+        """The fill satisfying a blocked read landed: check the value."""
+        pr = self.pending_read[pid]
+        if pr is None or pr[0] != block:
+            return
+        self.pending_read[pid] = None
+        _, word, expected = pr
+        line = self.lines[pid].get(block)
+        observed = line.get(word) if line else None
+        if expected is None:
+            self.unchecked_reads += 1
+            return
+        if observed != expected:
+            self._fail(pid, block, word, observed, expected, "miss fill")
+        self.checked_reads += 1
+
+    def wb_retire(self, pid: int, block: int) -> None:
+        """A write-buffer entry retired into its (now present) line."""
+        toks = self.wbv[pid].pop(block, None)
+        if toks:
+            line = self.lines[pid].get(block)
+            if line is None:
+                self.lines[pid][block] = dict(toks)
+            else:
+                line.update(toks)
+
+    def flush_capture(self, pid: int, block: int, words) -> Dict[int, int]:
+        """Tokens for a write-through of ``words`` (capture at send)."""
+        line = self.lines[pid].get(block) or {}
+        wv = self.wbv[pid].get(block) or {}
+        out = {}
+        for w in words:
+            tok = line.get(w, wv.get(w))
+            if tok is not None:
+                out[w] = tok
+        return out
+
+    def apply_home(self, block: int, data: Optional[Dict[int, int]]) -> None:
+        """A write-through / writeback arrived: merge into home memory."""
+        if data:
+            self.home.setdefault(block, {}).update(data)
+
+    # -- end of run ------------------------------------------------------------
+
+    def final_memory(self) -> Dict[int, int]:
+        """The machine's final memory image as ``word index -> token``.
+
+        Home memory, overlaid with dirty (RW) resident lines for
+        write-back protocols — the directory guarantees a single owner
+        whose copy is authoritative.  Write-through protocols keep home
+        memory current (the final barrier drained every buffer), and
+        multiple nodes may legitimately hold RW copies containing stale
+        values for *other* writers' words, so no overlay is applied.
+        """
+        wpl = self.wpl
+        mem: Dict[int, int] = {}
+        for block, d in self.home.items():
+            for w, tok in d.items():
+                mem[block * wpl + w] = tok
+        if not self.machine.protocol.write_through:
+            for pid, node in enumerate(self.machine.nodes):
+                cache = node.cache
+                tags, states = cache.tags, cache.states
+                for s in range(cache.n_sets):
+                    if states[s] == RW:
+                        block = tags[s]
+                        for w, tok in self.lines[pid].get(block, {}).items():
+                            mem[block * wpl + w] = tok
+        return mem

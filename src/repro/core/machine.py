@@ -96,6 +96,7 @@ class Machine:
         check_invariants: bool = False,
         trace_capacity: int = 1 << 16,
         check_level: str = "sync",
+        value_model: bool = False,
     ) -> None:
         # Import here to avoid a cycle (protocols import nothing from core,
         # but core.__init__ re-exports both directions for users).
@@ -120,6 +121,11 @@ class Machine:
         self._ran = False
         self.tracer = None
         self.checker = None
+        self.valmodel = None
+        if value_model:
+            from repro.conformance.shadow import ValueModel
+
+            self.valmodel = ValueModel(self)
         if trace or check_invariants:
             from repro.trace import InvariantChecker, Tracer
 

@@ -39,14 +39,19 @@ class Node:
         "wb_head_busy",
         "home_busy",
         "home_queue",
+        "home_wb_inflight",
         "lock_state",
         "barrier_state",
         "acq_inv_done",
         "msi_pending",
         "fill_pending",
         "fill_fixup",
+        "fill_reply_pending",
+        "fwd_deferred",
         "wb_fetching",
         "wt_drain_busy",
+        "wt_inflight",
+        "wt_waiters",
         "tracer",
         "checker",
     )
@@ -75,6 +80,11 @@ class Node:
         # Home-side per-block serialization (MSI protocols).
         self.home_busy: Set[int] = set()
         self.home_queue = {}
+        # Dirty writebacks in flight to this home (block -> count).  A
+        # writeback travels on the data channel and can be overtaken by
+        # the evictor's own re-request on the control channel; the home
+        # holds requests for such blocks until the writeback lands.
+        self.home_wb_inflight = {}
         # Synchronization manager state (for locks/barriers homed here).
         self.lock_state = {}
         self.barrier_state = {}
@@ -89,11 +99,27 @@ class Node:
         # access — DASH's RAC "use once, then invalidate" semantics.
         self.fill_pending = {}
         self.fill_fixup = {}
+        # Fill *replies* in flight to this node (block -> count) —
+        # distinct from fill_pending, which counts outstanding requests
+        # (the reply may not exist yet if the request is queued at a
+        # busy home).  A coherence forward that arrives while a reply is
+        # in flight waits for it (DASH's RAC use-once handling); see
+        # msi_home.MSIHomeMixin.
+        self.fill_reply_pending = {}
+        # Forwards waiting for an in-flight fill reply: block -> [(kind, args)].
+        self.fwd_deferred = {}
         # Lazy protocols: write-buffer entries with an outstanding fetch.
         self.wb_fetching: Set[int] = set()
         # Lazy protocols: number of background coalescing-buffer flushes
         # currently in flight.
         self.wt_drain_busy = 0
+        # Lazy protocols: per-block write-throughs in flight from this
+        # node (block -> count), and misses waiting for them.  A miss to
+        # a line with our own write-through outstanding must not overtake
+        # it to the home (read-own-write would break): it is held here
+        # until the ack returns.
+        self.wt_inflight = {}
+        self.wt_waiters = {}
         # Observability (set by Machine when tracing / checking is on).
         self.tracer = None
         self.checker = None

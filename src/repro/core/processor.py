@@ -162,14 +162,19 @@ class Processor:
         assert op is not None, "no pending write to complete"
         kind = op[0]
         if kind == WRITE:
+            addr = op[1]
             self._pending = None
         elif kind == WRITE_RUN or kind == RW_RESUME or kind == RW_RUN:
             _, base, count, stride, i = op
+            addr = base + i * stride
             nxt = RW_RUN if kind == RW_RESUME else kind
             self._pending = (nxt, base, count, stride, i + 1)
         else:
             raise AssertionError(f"pending op is not a write: {op!r}")
         self.stats.writes += 1
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.write(self.id, addr >> self._line_shift, (addr >> 3) & self._word_mask)
 
     def _finish(self, t: int) -> None:
         self.done = True
@@ -195,6 +200,7 @@ class Processor:
         wb = node.wb
         wb_words = wb.words if wb is not None else None
         obs = self.machine.classifier
+        vm = self.machine.valmodel
         my_id = self.id
 
         pend = self._pending
@@ -219,13 +225,19 @@ class Processor:
                 stats.reads += 1
                 if tags[s] == block and states[s]:
                     t += 1
+                    if vm is not None:
+                        vm.read_hit(my_id, block, (addr >> 3) & wmask)
                 elif wb_words is not None and block in wb_words:
                     t += 1  # read bypasses / forwards from the write buffer
+                    if vm is not None:
+                        vm.read_wb(my_id, block, (addr >> 3) & wmask)
                 else:
                     stats.read_misses += 1
                     word = (addr >> 3) & wmask
                     if obs is not None:
                         obs.classify_miss(my_id, block, word)
+                    if vm is not None:
+                        vm.read_miss(my_id, block, word)
                     self.block(t, B_READ)
                     prot.cpu_read_miss(node, t, block)
                     return
@@ -251,6 +263,8 @@ class Processor:
                         else:
                             t = prot.cpu_write(node, t, block, word)
                             stats.writes += 1
+                    if vm is not None:
+                        vm.write(my_id, block, word)
                 else:
                     nt = prot.cpu_write(node, t, block, word)
                     if nt < 0:
@@ -259,6 +273,8 @@ class Processor:
                         return
                     stats.writes += 1
                     t = nt
+                    if vm is not None:
+                        vm.write(my_id, block, word)
 
             elif kind == READ_RUN or kind == WRITE_RUN or kind == RW_RUN or kind == RW_RESUME:
                 if len(op) == 5:
@@ -283,12 +299,18 @@ class Processor:
                         stats.reads += 1
                         if tags[s] == block and states[s]:
                             t += 1
+                            if vm is not None:
+                                vm.read_hit(my_id, block, word)
                         elif wb_words is not None and block in wb_words:
                             t += 1
+                            if vm is not None:
+                                vm.read_wb(my_id, block, word)
                         else:
                             stats.read_misses += 1
                             if obs is not None:
                                 obs.classify_miss(my_id, block, word)
+                            if vm is not None:
+                                vm.read_miss(my_id, block, word)
                             # Resume after the fill: an RW element still
                             # owes its write; a read element is complete.
                             if is_rw:
@@ -316,6 +338,8 @@ class Processor:
                                 else:
                                     t = prot.cpu_write(node, t, block, word)
                                     stats.writes += 1
+                            if vm is not None:
+                                vm.write(my_id, block, word)
                         else:
                             nt = prot.cpu_write(node, t, block, word)
                             if nt < 0:
@@ -332,6 +356,8 @@ class Processor:
                                 return
                             stats.writes += 1
                             t = nt
+                            if vm is not None:
+                                vm.write(my_id, block, word)
                     i += 1
                     addr += stride
                     if t >= deadline and i < count:

@@ -29,6 +29,7 @@ APP_PRESETS = {
     "cholesky": dict(ncols=400, min_nz=48, max_nz=120, band=40),  # paper: bcsstk15
     "locusroute": dict(width=256, height=48, wires=384, passes=2),  # paper: Primary2
     "mp3d": dict(particles=4096, steps=4, cells=4096),  # paper: 40000 x 10
+    "fuzz": dict(n_ops=120, mode="auto"),     # conformance fuzzer (DESIGN.md §9)
 }
 
 #: Smaller variants for quick runs / tests of the harness itself.
@@ -40,6 +41,7 @@ APP_PRESETS_SMALL = {
     "cholesky": dict(ncols=120, min_nz=24, max_nz=60, band=24),
     "locusroute": dict(width=64, height=16, wires=64, passes=1),
     "mp3d": dict(particles=512, steps=2, cells=256),
+    "fuzz": dict(n_ops=48, mode="auto"),
 }
 
 APP_ORDER = ["barnes", "blu", "cholesky", "fft", "gauss", "locusroute", "mp3d"]

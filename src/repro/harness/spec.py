@@ -174,12 +174,25 @@ class ExperimentSpec:
         check = self.check_invariants or os.environ.get(
             "REPRO_CHECK_INVARIANTS", ""
         ) not in ("", "0")
+        # Value checking only exists for the conformance workload: its
+        # programs are DRF by construction, which is what licenses the
+        # oracle comparison (DESIGN.md §9).  Observation-only, like the
+        # invariant checker, so it stays outside the fingerprint.
+        value_check = self.app == "fuzz" and os.environ.get(
+            "REPRO_VALUE_CHECK", ""
+        ) not in ("", "0")
         cfg = self.config()
         machine = Machine(
             cfg,
             protocol=self.protocol,
             classify=self.classify,
             check_invariants=check,
+            value_model=value_check,
         )
         app = APPS[self.app](machine, **self.app_params())
-        return machine.run([app.program(p) for p in range(cfg.n_procs)])
+        result = machine.run([app.program(p) for p in range(cfg.n_procs)])
+        if value_check:
+            from repro.conformance.fuzz import verify_run
+
+            verify_run(machine, app)
+        return result

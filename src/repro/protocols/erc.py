@@ -81,6 +81,9 @@ class ERCProtocol(MSIHomeMixin, Protocol):
             state = cache.lookup(block)
             if state == RW:
                 wb.retire_head()
+                vm = self.machine.valmodel
+                if vm is not None:
+                    vm.wb_retire(node.id, block)
                 self._after_retire(node, t)
                 continue
             # The head needs a coherence transaction; it retires when the
@@ -113,6 +116,9 @@ class ERCProtocol(MSIHomeMixin, Protocol):
         wb = node.wb
         assert wb.head() == block, "write grant for a non-head entry"
         wb.retire_head()
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.wb_retire(node.id, block)
         node.wb_head_busy = False
         node.txn_done(t)
         self._after_retire(node, t)

@@ -55,6 +55,16 @@ class LRCProtocol(Protocol):
     # ==========================================================================
 
     def cpu_read_miss(self, node, t: int, block: int) -> None:
+        if node.wt_inflight.get(block):
+            # Our own write-through for this line is still traveling: a
+            # read request (control channel) would overtake it (data
+            # channel) and the home would serve the pre-write line,
+            # breaking read-own-write.  Hold the miss until the ack.
+            node.wt_waiters.setdefault(block, []).append("read")
+            return
+        self._send_read_req(node, t, block)
+
+    def _send_read_req(self, node, t: int, block: int) -> None:
         self.fabric.send(
             node.id,
             self.home_of(block),
@@ -100,6 +110,15 @@ class LRCProtocol(Protocol):
     def _issue_write_fetch(self, node, t: int, block: int) -> None:
         node.wb_fetching.add(block)
         node.txn_start()
+        if node.wt_inflight.get(block):
+            # Same ordering rule as cpu_read_miss: the fetch reply would
+            # otherwise carry the line as it was before our own in-flight
+            # write-through merged.
+            node.wt_waiters.setdefault(block, []).append("fetch")
+            return
+        self._send_write_fetch(node, t, block)
+
+    def _send_write_fetch(self, node, t: int, block: int) -> None:
         self.fabric.send(
             node.id,
             self.home_of(block),
@@ -161,8 +180,10 @@ class LRCProtocol(Protocol):
     ) -> None:
         """Write dirty words through to the home memory (asks for an ack)."""
         node.txn_start()
+        node.wt_inflight[block] = node.wt_inflight.get(block, 0) + 1
         self.stats.write_throughs += 1
         size = len(words) * self.cfg.word_size
+        vm = self.machine.valmodel
         self.fabric.send(
             node.id,
             self.home_of(block),
@@ -173,23 +194,38 @@ class LRCProtocol(Protocol):
             node.id,
             size,
             background,
+            vm.flush_capture(node.id, block, words) if vm is not None else None,
             size=size,
         )
 
     def _h_write_through(
-        self, t: int, block: int, src: int, size: int, background: bool
+        self, t: int, block: int, src: int, size: int, background: bool, data=None
     ) -> None:
         home = self.nodes[self.home_of(block)]
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.apply_home(block, data)
         tm = home.mem.write(t, size)
         self.fabric.send(
-            home.id, src, MsgType.ACK, tm, self._h_wt_ack, src, background
+            home.id, src, MsgType.ACK, tm, self._h_wt_ack, src, background, block
         )
 
-    def _h_wt_ack(self, t: int, src: int, background: bool) -> None:
+    def _h_wt_ack(self, t: int, src: int, background: bool, block: int) -> None:
         node = self.nodes[src]
         node.txn_done(t)
         if background:
             node.wt_drain_busy -= 1
+        left = node.wt_inflight[block] - 1
+        if left:
+            node.wt_inflight[block] = left
+        else:
+            del node.wt_inflight[block]
+            for kind in node.wt_waiters.pop(block, ()):
+                if kind == "read":
+                    self._send_read_req(node, t, block)
+                else:
+                    self._send_write_fetch(node, t, block)
+        if background:
             self._kick_drain(node, t)
 
     # ==========================================================================
@@ -273,6 +309,7 @@ class LRCProtocol(Protocol):
                 block,
                 w,
             )
+        vm = self.machine.valmodel
         self.fabric.send(
             home.id,
             requester,
@@ -282,14 +319,21 @@ class LRCProtocol(Protocol):
             block,
             requester,
             out.weak_for_reader,
+            vm.home_line(block) if vm is not None else None,
         )
 
-    def _h_read_fill(self, t: int, block: int, requester: int, weak: bool) -> None:
+    def _h_read_fill(
+        self, t: int, block: int, requester: int, weak: bool, data=None
+    ) -> None:
         node = self.nodes[requester]
         t_fill = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
         self._install_line(node, t_fill, block, RO)
         if weak:
             node.pending_inval.add(block)
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.fill(requester, block, data)
+            vm.read_fill(requester, block)
         node.proc.unblock(t_fill)
 
     def _h_write_req(self, t: int, block: int, requester: int, has_copy: bool) -> None:
@@ -303,6 +347,7 @@ class LRCProtocol(Protocol):
         # the release fence waits on may come later, after notice acks.
         if out.needs_data:
             tm = home.mem.read(t, self.cfg.line_size)
+            vm = self.machine.valmodel
             self.fabric.send(
                 home.id,
                 requester,
@@ -313,6 +358,7 @@ class LRCProtocol(Protocol):
                 requester,
                 out.weak_for_writer,
                 not awaiting,
+                vm.home_line(block) if vm is not None else None,
             )
         td = tp
         for s in out.notices_to:
@@ -341,12 +387,15 @@ class LRCProtocol(Protocol):
             )
 
     def _h_write_fill(
-        self, t: int, block: int, requester: int, weak: bool, final: bool
+        self, t: int, block: int, requester: int, weak: bool, final: bool, data=None
     ) -> None:
         """Data for a write miss: install RW and retire buffered words."""
         node = self.nodes[requester]
         t_fill = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
         self._install_line(node, t_fill, block, RW)
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.fill(requester, block, data)
         node.wb_fetching.discard(block)
         if weak:
             node.pending_inval.add(block)
@@ -360,11 +409,15 @@ class LRCProtocol(Protocol):
         an intervening fill (direct-mapped conflict) its fetch is
         reissued — otherwise the entry could never retire."""
         wb = node.wb
+        vm = self.machine.valmodel
         retired = False
         while not wb.empty:
             head = wb.head()
             if node.cache.lookup(head) == RW:
-                self._cbuf_add(node, t, head, wb.retire_head())
+                words = wb.retire_head()
+                if vm is not None:
+                    vm.wb_retire(node.id, head)
+                self._cbuf_add(node, t, head, words)
                 retired = True
             else:
                 if head not in node.wb_fetching:

@@ -65,10 +65,8 @@ class LRCExtProtocol(LRCProtocol):
             self._issue_write_fetch(node, t, block)
         return t + 1
 
-    def _issue_write_fetch(self, node, t: int, block: int) -> None:
+    def _send_write_fetch(self, node, t: int, block: int) -> None:
         """Fetch the line as a *reader*; the write notice stays deferred."""
-        node.wb_fetching.add(block)
-        node.txn_start()
         self.fabric.send(
             node.id,
             self.home_of(block),
@@ -92,6 +90,7 @@ class LRCExtProtocol(LRCProtocol):
             self.fabric.send(
                 home.id, w, MsgType.WRITE_NOTICE, td, self._h_notice_info, block, w
             )
+        vm = self.machine.valmodel
         self.fabric.send(
             home.id,
             requester,
@@ -101,14 +100,29 @@ class LRCExtProtocol(LRCProtocol):
             block,
             requester,
             out.weak_for_reader,
+            vm.home_line(block) if vm is not None else None,
         )
 
-    def _h_write_fetch_fill(self, t: int, block: int, requester: int, weak: bool) -> None:
+    def _h_write_fetch_fill(
+        self, t: int, block: int, requester: int, weak: bool, data=None
+    ) -> None:
         node = self.nodes[requester]
         t_fill = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
         self._install_line(node, t_fill, block, RW)
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.fill(requester, block, data)
         node.wb_fetching.discard(block)
-        node.deferred_notices.add(block)
+        if node.release_cb is not None:
+            # A release fence is already waiting: it scanned (and posted)
+            # the deferred notices before this fill landed, so deferring
+            # now would let the release complete without ever announcing
+            # the write.  Post the notice immediately; the fence also
+            # waits for its final ack.
+            self.stats.deferred_notices += 1
+            self._send_write_notice(node, t_fill, block, has_copy=True)
+        else:
+            node.deferred_notices.add(block)
         if weak:
             node.pending_inval.add(block)
         self._retire_ready_wb(node, t_fill)

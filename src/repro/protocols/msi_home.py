@@ -89,6 +89,50 @@ class MSIHomeMixin:
             node.fill_fixup[block] = (state, hits_grants)
         return True
 
+    # -- forwards that chase an in-flight fill reply ----------------------------
+
+    def _reply_begin(self, requester: int, block: int) -> None:
+        """A fill reply (data or grant) is now in flight to ``requester``."""
+        node = self.nodes[requester]
+        node.fill_reply_pending[block] = node.fill_reply_pending.get(block, 0) + 1
+
+    def _reply_end(self, node, block: int) -> None:
+        left = node.fill_reply_pending[block] - 1
+        if left:
+            node.fill_reply_pending[block] = left
+        else:
+            del node.fill_reply_pending[block]
+
+    def _defer_forward(self, onode, block: int, kind: str, *args) -> bool:
+        """Hold a forward at the owner while its fill reply is in flight.
+
+        The home's grant to the owner travels on the data channel; a
+        later forward for the same block (control channel) can overtake
+        it.  Processing the forward first would capture the line before
+        the owner's pending access performed — DASH instead parks the
+        forward in the RAC until the fill lands and is used once.  Only
+        a reply provably in flight is waited on; if the owner's request
+        is still queued at a busy home (no reply exists), waiting here
+        would deadlock, so the forward proceeds against the
+        fill-fixup machinery instead.
+        """
+        if not onode.cache.resident(block) and onode.fill_reply_pending.get(block):
+            onode.fwd_deferred.setdefault(block, []).append((kind, args))
+            return True
+        return False
+
+    def _process_deferred_forwards(self, node, t: int, block: int) -> None:
+        if block in node.fill_reply_pending:
+            return  # another reply still in flight; keep waiting
+        pending = node.fwd_deferred.pop(block, None)
+        if not pending:
+            return
+        for kind, args in pending:
+            if kind == "read":
+                self._h_forward_read(t, block, *args)
+            else:
+                self._h_forward_write(t, block, *args)
+
     # -- home-side busy/queue -----------------------------------------------------
 
     def _home_defer(self, home, block: int, kind: str, *args) -> bool:
@@ -98,18 +142,25 @@ class MSIHomeMixin:
         just went idle) so that deferred requests are served in arrival
         order.
         """
-        if block in home.home_busy or home.home_queue.get(block):
+        if (
+            block in home.home_busy
+            or block in home.home_wb_inflight
+            or home.home_queue.get(block)
+        ):
             home.home_queue.setdefault(block, deque()).append((kind, args))
             return True
         return False
 
     def _home_unbusy(self, home, t: int, block: int) -> None:
         home.home_busy.discard(block)
+        self._home_replay(home, t, block)
+
+    def _home_replay(self, home, t: int, block: int) -> None:
         # Replay deferred requests until one re-opens a transaction (sets
         # busy again) or the queue drains; a synchronously-served request
         # (plain 2-hop read) must not strand the ones behind it.
         q = home.home_queue.get(block)
-        while q and block not in home.home_busy:
+        while q and block not in home.home_busy and block not in home.home_wb_inflight:
             kind, args = q.popleft()
             if kind == "read":
                 self._do_read_req(t, block, *args)
@@ -148,6 +199,8 @@ class MSIHomeMixin:
             # Directory processing is hidden behind the memory access
             # (Section 3): both start when the request arrives.
             tm = home.mem.read(t, self.cfg.line_size)
+            vm = self.machine.valmodel
+            self._reply_begin(requester, block)
             self.fabric.send(
                 home.id,
                 requester,
@@ -156,10 +209,13 @@ class MSIHomeMixin:
                 self._h_read_data,
                 block,
                 requester,
+                vm.home_line(block) if vm is not None else None,
             )
 
     def _h_forward_read(self, t: int, block: int, owner: int, requester: int) -> None:
         onode = self.nodes[owner]
+        if self._defer_forward(onode, block, "read", owner, requester):
+            return
         tp = onode.pp.reserve(t, self.cfg.notice_cost)
         # Reading the line out of the owner's cache occupies its local bus
         # for a full line transfer (this is why dirty-remote reads cost
@@ -175,26 +231,40 @@ class MSIHomeMixin:
             # The forward overtook the owner's own grant: the fill must
             # land shared, not exclusive.
             self._note_fill_fixup(onode, block, RO, hits_grants=True)
+        vm = self.machine.valmodel
+        data = vm.owner_line(owner, block) if vm is not None else None
+        self._reply_begin(requester, block)
         self.fabric.send(
-            onode.id, requester, MsgType.OWNER_DATA, tp, self._h_read_data, block, requester
+            onode.id, requester, MsgType.OWNER_DATA, tp, self._h_read_data,
+            block, requester, data,
         )
         home = self.nodes[self.home_of(block)]
         self.fabric.send(
-            onode.id, home.id, MsgType.WRITEBACK, tp, self._h_sharing_wb, block
+            onode.id, home.id, MsgType.WRITEBACK, tp, self._h_sharing_wb, block, data
         )
 
-    def _h_sharing_wb(self, t: int, block: int) -> None:
+    def _h_sharing_wb(self, t: int, block: int, data=None) -> None:
         home = self.nodes[self.home_of(block)]
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.apply_home(block, data)
         home.mem.write(t, self.cfg.line_size)
         self.stats.writebacks += 1
         self._home_unbusy(home, t, block)
 
-    def _h_read_data(self, t: int, block: int, requester: int) -> None:
+    def _h_read_data(self, t: int, block: int, requester: int, data=None) -> None:
         node = self.nodes[requester]
+        self._reply_end(node, block)
         t_fill = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
         self._install_line(node, t_fill, block, RO)
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.fill(requester, block, data)
         self._fill_end(node, t_fill, block)
+        if vm is not None:
+            vm.read_fill(requester, block)
         self._read_fill_done(node, t_fill, block)
+        self._process_deferred_forwards(node, t_fill, block)
 
     def _read_fill_done(self, node, t: int, block: int) -> None:
         """Requester-side read completion (default: resume the CPU)."""
@@ -247,8 +317,10 @@ class MSIHomeMixin:
     def _send_write_grant(
         self, home, t_arrival: int, tp: int, block: int, requester: int, needs_data: bool
     ) -> None:
+        self._reply_begin(requester, block)
         if needs_data:
             tm = home.mem.read(t_arrival, self.cfg.line_size)
+            vm = self.machine.valmodel
             self.fabric.send(
                 home.id,
                 requester,
@@ -258,6 +330,7 @@ class MSIHomeMixin:
                 block,
                 requester,
                 True,
+                vm.home_line(block) if vm is not None else None,
             )
         else:
             self.fabric.send(
@@ -269,10 +342,13 @@ class MSIHomeMixin:
                 block,
                 requester,
                 False,
+                None,
             )
 
     def _h_forward_write(self, t: int, block: int, owner: int, requester: int) -> None:
         onode = self.nodes[owner]
+        if self._defer_forward(onode, block, "write", owner, requester):
+            return
         tp = onode.pp.reserve(t, self.cfg.notice_cost)
         tp = onode.bus.reserve(tp, self.cfg.bus_time(self.cfg.line_size))
         if onode.cache.invalidate(block):
@@ -281,6 +357,8 @@ class MSIHomeMixin:
                 self.machine.classifier.record_invalidation(owner, block)
         else:
             self._note_fill_fixup(onode, block, INVALID, hits_grants=True)
+        vm = self.machine.valmodel
+        self._reply_begin(requester, block)
         self.fabric.send(
             onode.id,
             requester,
@@ -290,6 +368,7 @@ class MSIHomeMixin:
             block,
             requester,
             True,
+            vm.owner_line(owner, block) if vm is not None else None,
         )
         home = self.nodes[self.home_of(block)]
         self.fabric.send(
@@ -326,11 +405,17 @@ class MSIHomeMixin:
             )
             self._home_unbusy(home, tp, block)
 
-    def _h_write_grant_msg(self, t: int, block: int, requester: int, with_data: bool) -> None:
+    def _h_write_grant_msg(
+        self, t: int, block: int, requester: int, with_data: bool, data=None
+    ) -> None:
         node = self.nodes[requester]
+        self._reply_end(node, block)
         if with_data:
             t = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
             self._install_line(node, t, block, RW)
+            vm = self.machine.valmodel
+            if vm is not None:
+                vm.fill(requester, block, data)
         else:
             if node.cache.resident(block):
                 node.cache.upgrade(block)
@@ -340,6 +425,7 @@ class MSIHomeMixin:
                 self._install_line(node, t, block, RW)
         self._fill_end(node, t, block, is_write_grant=True)
         self._write_grant(node, t, block)
+        self._process_deferred_forwards(node, t, block)
 
     def _write_grant(self, node, t: int, block: int) -> None:
         """Requester-side write completion.  Overridden per protocol."""
@@ -353,8 +439,18 @@ class MSIHomeMixin:
         home_id = self.home_of(vblock)
         if vstate == RW:
             self.stats.writebacks += 1
+            # The writeback is ordered at the home the moment it enters
+            # the network; mark the block so that a request overtaking it
+            # on the control channel (e.g. the evictor re-fetching the
+            # same block) is held until the writeback lands.  Without
+            # this the late writeback's directory.evict would erase the
+            # entry the re-request just established.
+            home = self.nodes[home_id]
+            home.home_wb_inflight[vblock] = home.home_wb_inflight.get(vblock, 0) + 1
+            vm = self.machine.valmodel
             self.fabric.send(
-                node.id, home_id, MsgType.WRITEBACK, t, self._h_evict_wb, vblock, node.id
+                node.id, home_id, MsgType.WRITEBACK, t, self._h_evict_wb, vblock,
+                node.id, vm.owner_line(node.id, vblock) if vm is not None else None,
             )
         else:
             self.fabric.send(
@@ -367,10 +463,19 @@ class MSIHomeMixin:
                 node.id,
             )
 
-    def _h_evict_wb(self, t: int, block: int, src: int) -> None:
+    def _h_evict_wb(self, t: int, block: int, src: int, data=None) -> None:
         home = self.nodes[self.home_of(block)]
+        vm = self.machine.valmodel
+        if vm is not None:
+            vm.apply_home(block, data)
         home.mem.write(t, self.cfg.line_size)
         home.directory.evict(block, src, dirty=True)
+        left = home.home_wb_inflight[block] - 1
+        if left:
+            home.home_wb_inflight[block] = left
+        else:
+            del home.home_wb_inflight[block]
+        self._home_replay(home, t, block)
 
     def _h_evict_hint(self, t: int, block: int, src: int) -> None:
         home = self.nodes[self.home_of(block)]

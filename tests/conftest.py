@@ -1,0 +1,18 @@
+"""Shared pytest plumbing for the tier-1 suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/ regression fixtures from the "
+        "current simulator output instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")

@@ -33,9 +33,10 @@ def run_app(name, n=4, proto="lrc", **params):
 
 
 class TestRegistry:
-    def test_all_seven_apps_registered(self):
+    def test_all_apps_registered(self):
         assert set(APPS) == {
-            "gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d"
+            "gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d",
+            "fuzz",  # conformance workload (DESIGN.md §9)
         }
 
     @pytest.mark.parametrize("name", sorted(TINY))

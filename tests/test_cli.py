@@ -67,3 +67,108 @@ def test_figures_no_store(tmp_path, capsys, monkeypatch):
 def test_figures_rejects_unknown_artifact():
     with pytest.raises(SystemExit):
         main(["figures", "--only", "f13"])
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+def test_trace_clean_run(capsys):
+    assert main(["trace", "gauss", "--protocol", "lrc", "--procs", "2",
+                 "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants ok" in out
+    assert "msg" in out  # event-kind histogram rendered
+
+
+def test_trace_jsonl_export(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "events.jsonl"
+    assert main(["trace", "gauss", "--protocol", "sc", "--procs", "2",
+                 "--small", "--out", str(out_file)]) == 0
+    lines = out_file.read_text().splitlines()
+    assert lines
+    for line in lines[:20]:
+        ev = json.loads(line)
+        assert {"seq", "t", "kind", "node"} <= set(ev)
+    # seq strictly increasing across the buffer.
+    seqs = [json.loads(l)["seq"] for l in lines]
+    assert seqs == sorted(seqs)
+
+
+def test_trace_violation_prints_window(tmp_path, capsys, monkeypatch):
+    from repro.protocols import PROTOCOLS
+    from tests.test_trace import BrokenReleaseLRC
+
+    monkeypatch.setitem(PROTOCOLS, BrokenReleaseLRC.name, BrokenReleaseLRC)
+    assert main(["trace", "gauss", "--protocol", BrokenReleaseLRC.name,
+                 "--procs", "2", "--small", "--window", "5"]) == 1
+    err = capsys.readouterr().err
+    assert "INVARIANT VIOLATION" in err
+    assert "event window" in err
+    assert "violation" in err  # the anchored event itself is rendered
+
+
+# ---------------------------------------------------------------------------
+# fuzz
+# ---------------------------------------------------------------------------
+
+def test_fuzz_clean_exit_zero(capsys):
+    assert main(["fuzz", "--seed", "0", "--iters", "2", "--procs", "4",
+                 "--n-ops", "30"]) == 0
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_fuzz_single_protocol(capsys):
+    assert main(["fuzz", "--seed", "3", "--iters", "1", "--procs", "2",
+                 "--n-ops", "30", "--protocols", "lrc"]) == 0
+    out = capsys.readouterr().out
+    assert "1 protocols (lrc)" in out
+
+
+def test_fuzz_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--protocols", "mesi"])
+
+
+def test_fuzz_broken_protocol_report_and_replay(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.conformance import ProgramSpec
+    from repro.protocols import PROTOCOLS
+    from tests.test_trace import BrokenReleaseLRC
+
+    monkeypatch.setitem(PROTOCOLS, BrokenReleaseLRC.name, BrokenReleaseLRC)
+    out_file = tmp_path / "fuzz.json"
+    assert main(["fuzz", "--seed", "0", "--iters", "1", "--procs", "4",
+                 "--n-ops", "40", "--protocols", BrokenReleaseLRC.name,
+                 "--out", str(out_file)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "release fired" in out
+    assert "violation" in out  # trace window printed under the failure
+
+    report = json.loads(out_file.read_text())
+    assert len(report["failures"]) == 1
+    mini = ProgramSpec.from_dict(report["failures"][0]["minimized"])
+    assert mini.op_count() <= 30
+
+    # Replay path re-runs the reproducer and still fails.
+    assert main(["fuzz", "--replay", str(out_file)]) == 1
+    assert "STILL FAILS" in capsys.readouterr().err
+
+
+def test_fuzz_no_minimize_skips_minimization(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.protocols import PROTOCOLS
+    from tests.test_trace import BrokenReleaseLRC
+
+    monkeypatch.setitem(PROTOCOLS, BrokenReleaseLRC.name, BrokenReleaseLRC)
+    out_file = tmp_path / "fuzz.json"
+    assert main(["fuzz", "--seed", "0", "--iters", "1", "--procs", "4",
+                 "--n-ops", "40", "--protocols", BrokenReleaseLRC.name,
+                 "--no-minimize", "--out", str(out_file)]) == 1
+    capsys.readouterr()
+    report = json.loads(out_file.read_text())
+    assert report["failures"][0]["minimized"] is None
