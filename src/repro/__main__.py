@@ -7,11 +7,22 @@
     python -m repro figures --only t3 f4 --jobs 4
     python -m repro trace locusroute --protocol sc --procs 4 --small
     python -m repro fuzz --seed 0 --iters 50 --procs 8
+    python -m repro fuzz --iters 50 --faults drop=0.02,dup=0.02,delay=0.05
+    python -m repro faults --iters 10 --rates 0.01 0.02 0.05
 
 ``figures`` regenerates the paper's tables and figures, fanning the
 underlying simulations out over ``--jobs`` worker processes and caching
 every result in an on-disk store (``.repro-results/`` by default), so a
 repeated invocation renders from disk without simulating anything.
+Failed experiments are persisted as structured failure records and
+summarized at the end instead of aborting the sweep.
+
+``fuzz --faults`` runs the differential conformance campaign under
+seeded message-level fault injection (drop/dup/delay/reorder at the NIC
+boundary); the reliable-delivery layer must recover transparently, so
+the oracle comparison is unchanged and the recovery-traffic counters
+are reported.  ``faults`` sweeps fault rates across every protocol and
+tabulates failures and recovery traffic.
 
 ``trace`` runs one simulation with the protocol event tracer and the
 coherence-invariant checker enabled; on a violation it prints the event
@@ -29,8 +40,8 @@ import sys
 import time
 
 from repro.apps import APPS
+from repro.faults.plan import FaultPlan
 from repro.harness import run_experiment
-from repro.harness.runner import ExperimentError
 from repro.harness.experiments import (
     ARTIFACT_KEYS,
     all_artifact_specs,
@@ -123,12 +134,22 @@ def _cmd_figures(args) -> int:
     specs = all_artifact_specs(wanted, n_procs=n, small=small)
     if args.check_invariants:
         specs = [s.with_(check_invariants=True) for s in specs]
-    try:
-        prefetch(specs, jobs=args.jobs, store=store, timeout=args.timeout)
-    except ExperimentError as e:
-        print(f"repro figures: error: {e}", file=sys.stderr)
-        return 1
+    failures = {}
+    prefetch(
+        specs, jobs=args.jobs, store=store, timeout=args.timeout,
+        on_failure="record", failures_out=failures,
+    )
     sim_elapsed = time.monotonic() - t0
+    if failures:
+        print(
+            f"repro figures: {len(failures)} of {len(specs)} experiments failed"
+            + (" (records persisted to the store):" if store else ":"),
+            file=sys.stderr,
+        )
+        for spec, failure in failures.items():
+            print(f"  {spec.label()}: {failure.kind}: {failure.message}",
+                  file=sys.stderr)
+        return 1
 
     renderers = {
         "t1": lambda: table1(),
@@ -212,6 +233,10 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _format_traffic(traffic: dict) -> str:
+    return ", ".join(f"{k}={traffic.get(k, 0)}" for k in sorted(traffic))
+
+
 def _cmd_fuzz(args) -> int:
     from repro.conformance import fuzz_run, write_reproducers
     from repro.conformance.fuzz import replay_reproducer
@@ -220,6 +245,7 @@ def _cmd_fuzz(args) -> int:
     if args.replay:
         return replay_reproducer(args.replay, window=args.window, log=say)
     protocols = tuple(args.protocols)
+    faults = FaultPlan.parse(args.faults) if args.faults else None
     summary = fuzz_run(
         seed=args.seed,
         iters=args.iters,
@@ -229,13 +255,18 @@ def _cmd_fuzz(args) -> int:
         do_minimize=args.minimize,
         jobs=args.jobs,
         window=args.window,
+        faults=faults,
         log=say,
     )
     failures = summary["failures"]
+    if faults is not None:
+        say(f"fault plan [{faults.label()}]: "
+            + _format_traffic(summary.get("traffic", {})))
     if not failures:
         print(
             f"fuzz: {args.iters} programs x {len(protocols)} protocols "
             f"({', '.join(protocols)}), {args.procs} procs: all clean"
+            + (f" under faults [{faults.label()}]" if faults else "")
         )
         return 0
     if args.out:
@@ -247,6 +278,71 @@ def _cmd_fuzz(args) -> int:
             print(f"    {line}")
     print(f"fuzz: {len(failures)} failure(s) in {args.iters} iterations")
     return 1
+
+
+def _cmd_faults(args) -> int:
+    """Fault-rate sweep: the conformance campaign at each rate, with the
+    recovery-traffic counters tabulated per rate."""
+    from repro.conformance import fuzz_run
+
+    say = lambda s: print(s, file=sys.stderr)
+    protocols = tuple(args.protocols)
+    base = FaultPlan.parse(args.faults) if args.faults else FaultPlan()
+    rows = []
+    bad = 0
+    for rate in args.rates:
+        plan = FaultPlan.from_dict(
+            {
+                **base.to_dict(),
+                "seed": args.seed,
+                "drop": rate,
+                "dup": rate,
+                "delay": min(1.0, 2 * rate),
+            }
+        )
+        say(f"rate {rate:g}: fuzzing under [{plan.label()}] ...")
+        summary = fuzz_run(
+            seed=args.seed,
+            iters=args.iters,
+            n_procs=args.procs,
+            protocols=protocols,
+            do_minimize=False,
+            jobs=args.jobs,
+            faults=plan,
+            log=say,
+        )
+        t = summary.get("traffic", {})
+        n_fail = len(summary["failures"])
+        bad += n_fail
+        rows.append(
+            [
+                f"{rate:g}",
+                n_fail,
+                t.get("retransmits", 0),
+                t.get("dup_drops", 0),
+                t.get("drops_injected", 0),
+                t.get("dups_injected", 0),
+                t.get("delays_injected", 0),
+            ]
+        )
+    print(
+        format_table(
+            ["rate", "failures", "retransmits", "dup_drops",
+             "dropped", "duped", "delayed"],
+            rows,
+            title=(
+                f"fault sweep: {args.iters} programs x "
+                f"{len(protocols)} protocols ({', '.join(protocols)}), "
+                f"{args.procs} procs"
+            ),
+        )
+    )
+    if bad:
+        print(f"faults: {bad} failure(s); rerun `repro fuzz --faults ...` "
+              "at the failing rate to diagnose and minimize")
+        return 1
+    print("faults: all runs recovered and agreed with the oracle")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -368,6 +464,42 @@ def main(argv=None) -> int:
         "--replay", default=None, metavar="FILE",
         help="re-run the reproducers in a fuzz JSON report instead of fuzzing",
     )
+    p_fz.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="inject seeded message faults, e.g. "
+        "drop=0.02,dup=0.02,delay=0.05 (keys are FaultPlan fields); "
+        "the oracle comparison is unchanged — the reliable-delivery "
+        "layer must recover transparently",
+    )
+
+    p_fl = sub.add_parser(
+        "faults",
+        help="fault-injection sweep: the conformance campaign at each "
+        "fault rate, tabulating failures and recovery traffic",
+    )
+    p_fl.add_argument("--seed", type=int, default=0)
+    p_fl.add_argument("--iters", type=int, default=10,
+                      help="programs per rate (default 10)")
+    p_fl.add_argument("--procs", type=int, default=8)
+    p_fl.add_argument(
+        "--protocols", nargs="*", default=["sc", "erc", "lrc", "lrc-ext"],
+        choices=sorted(PROTOCOLS), metavar="PROTO",
+    )
+    p_fl.add_argument(
+        "--rates", nargs="*", type=float, default=[0.01, 0.02, 0.05],
+        metavar="RATE",
+        help="drop/dup rates to sweep; delay rate is 2x (default "
+        "0.01 0.02 0.05)",
+    )
+    p_fl.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="base plan the swept rates are applied on top of "
+        "(e.g. burst_every=50000,burst_len=2000)",
+    )
+    p_fl.add_argument(
+        "--jobs", type=int, default=1,
+        help="verify iterations in parallel worker processes",
+    )
 
     args = ap.parse_args(argv)
     if args.cmd == "list":
@@ -380,6 +512,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.cmd == "fuzz":
         return _cmd_fuzz(args)
+    if args.cmd == "faults":
+        return _cmd_faults(args)
     return _cmd_compare(args)
 
 

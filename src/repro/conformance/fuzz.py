@@ -59,7 +59,7 @@ class FuzzFailure:
     iteration: int
     seed: int
     protocol: str
-    reason: str           # violation | invariant | deadlock | oracle | structural
+    reason: str           # violation | invariant | stall | deadlock | oracle | structural
     message: str
     program: dict
     minimized: Optional[dict] = None
@@ -85,7 +85,7 @@ def fuzz_config(n_procs: int, seed: int):
 
 
 def build_machine(
-    spec: ProgramSpec, protocol: str, trace: bool = False
+    spec: ProgramSpec, protocol: str, trace: bool = False, faults=None
 ):
     """A fresh fuzz machine + app for one program under one protocol."""
     from repro.apps import APPS
@@ -98,9 +98,23 @@ def build_machine(
         trace=trace,
         check_invariants=True,
         value_model=True,
+        faults=faults,
     )
     app = APPS["fuzz"](machine, program=spec)
     return machine, app
+
+
+#: MessageStats counters summed into a fuzz campaign's traffic summary
+#: (nonzero retransmits prove injected faults actually fired).
+TRAFFIC_KEYS = (
+    "retransmits", "dup_drops", "drops_injected", "dups_injected",
+    "delays_injected",
+)
+
+
+def _accumulate_traffic(traffic_out, stats) -> None:
+    for key in TRAFFIC_KEYS:
+        traffic_out[key] = traffic_out.get(key, 0) + getattr(stats, key)
 
 
 def structural_errors(machine) -> List[str]:
@@ -187,36 +201,52 @@ def run_one(
     protocol: str,
     oracle: Optional[OracleResult] = None,
     trace: bool = False,
+    faults=None,
+    traffic_out: Optional[Dict[str, int]] = None,
 ):
-    """Run one program under one protocol.
+    """Run one program under one protocol (optionally under faults).
 
     Returns ``(reason, message, machine)`` on failure, or ``None`` on a
-    clean, oracle-agreeing run.
+    clean, oracle-agreeing run.  The oracle comparison is unchanged
+    under faults: the reliable-delivery layer hands the protocol
+    exactly-once, per-channel-ordered messages, so committed ops, final
+    memory, and the structural counters must all still match — only
+    timing (and the recovery traffic accumulated into ``traffic_out``)
+    differs.
     """
     from repro.engine.simulator import DeadlockError
+    from repro.faults.watchdog import SimulationStall
     from repro.trace.invariants import InvariantViolation
 
-    machine, app = build_machine(spec, protocol, trace=trace)
+    machine, app = build_machine(spec, protocol, trace=trace, faults=faults)
     try:
-        machine.run([app.program(p) for p in range(spec.n_procs)])
-    except ConformanceViolation as e:
-        return ("violation", str(e), machine)
-    except InvariantViolation as e:
-        return ("invariant", str(e), machine)
-    except DeadlockError as e:
-        return ("deadlock", str(e), machine)
-    except RuntimeError as e:
-        return ("deadlock", f"cycle ceiling: {e}", machine)
-    try:
-        verify_run(machine, app, oracle)
-    except ConformanceViolation as e:
-        return ("oracle", str(e), machine)
-    return None
+        try:
+            machine.run([app.program(p) for p in range(spec.n_procs)])
+        except ConformanceViolation as e:
+            return ("violation", str(e), machine)
+        except InvariantViolation as e:
+            return ("invariant", str(e), machine)
+        except SimulationStall as e:
+            return ("stall", str(e), machine)
+        except DeadlockError as e:
+            return ("deadlock", str(e), machine)
+        except RuntimeError as e:
+            return ("deadlock", f"cycle ceiling: {e}", machine)
+        try:
+            verify_run(machine, app, oracle)
+        except ConformanceViolation as e:
+            return ("oracle", str(e), machine)
+        return None
+    finally:
+        if traffic_out is not None:
+            _accumulate_traffic(traffic_out, machine.fabric.stats)
 
 
-def _trace_window(spec: ProgramSpec, protocol: str, window: int) -> List[str]:
+def _trace_window(
+    spec: ProgramSpec, protocol: str, window: int, faults=None
+) -> List[str]:
     """Re-run a failing combination with the tracer for context lines."""
-    failure = run_one(spec, protocol, trace=True)
+    failure = run_one(spec, protocol, trace=True, faults=faults)
     if failure is None:
         return []
     machine = failure[2]
@@ -235,11 +265,11 @@ def _trace_window(spec: ProgramSpec, protocol: str, window: int) -> List[str]:
     return lines
 
 
-def make_fail_predicate(protocol: str) -> Callable[[ProgramSpec], bool]:
+def make_fail_predicate(protocol: str, faults=None) -> Callable[[ProgramSpec], bool]:
     """The minimizer's test: does the protocol still fail this program?"""
 
     def fails(candidate: ProgramSpec) -> bool:
-        return run_one(candidate, protocol) is not None
+        return run_one(candidate, protocol, faults=faults) is not None
 
     return fails
 
@@ -253,6 +283,8 @@ def fuzz_iteration(
     mode: str = "auto",
     do_minimize: bool = True,
     window: int = 12,
+    faults=None,
+    traffic_out: Optional[Dict[str, int]] = None,
 ) -> List[FuzzFailure]:
     """Generate one program and run it under every protocol."""
     spec = generate(seed, n_procs, n_ops=n_ops, mode=mode)
@@ -264,7 +296,9 @@ def fuzz_iteration(
         )
     failures = []
     for protocol in protocols:
-        failure = run_one(spec, protocol, oracle)
+        failure = run_one(
+            spec, protocol, oracle, faults=faults, traffic_out=traffic_out
+        )
         if failure is None:
             continue
         reason, message, _machine = failure
@@ -275,10 +309,10 @@ def fuzz_iteration(
             reason=reason,
             message=message,
             program=spec.to_dict(),
-            trace_window=_trace_window(spec, protocol, window),
+            trace_window=_trace_window(spec, protocol, window, faults=faults),
         )
         if do_minimize:
-            small = minimize(spec, make_fail_predicate(protocol))
+            small = minimize(spec, make_fail_predicate(protocol, faults=faults))
             f.minimized = small.to_dict()
         failures.append(f)
     return failures
@@ -289,6 +323,8 @@ def _parallel_clean_scan(
     n_procs: int,
     protocols: Sequence[str],
     jobs: int,
+    faults=None,
+    traffic_out: Optional[Dict[str, int]] = None,
 ) -> Optional[List[int]]:
     """Try to clear many iterations at once across worker processes.
 
@@ -306,6 +342,7 @@ def _parallel_clean_scan(
             protocol=protocol,
             n_procs=n_procs,
             overrides=(("seed", seed), ("cache_size", FUZZ_CACHE)),
+            faults=faults,
             check_invariants=True,
         )
         for seed in seeds
@@ -314,7 +351,7 @@ def _parallel_clean_scan(
     prev = os.environ.get("REPRO_VALUE_CHECK")
     os.environ["REPRO_VALUE_CHECK"] = "1"
     try:
-        run_parallel(specs, jobs=jobs, store=None, retries=0)
+        results = run_parallel(specs, jobs=jobs, store=None, retries=0)
     except ExperimentError:
         return None
     finally:
@@ -322,6 +359,9 @@ def _parallel_clean_scan(
             del os.environ["REPRO_VALUE_CHECK"]
         else:
             os.environ["REPRO_VALUE_CHECK"] = prev
+    if traffic_out is not None:
+        for result in results.values():
+            _accumulate_traffic(traffic_out, result.traffic)
     return seeds
 
 
@@ -335,12 +375,23 @@ def fuzz_run(
     do_minimize: bool = True,
     jobs: int = 1,
     window: int = 12,
+    faults=None,
     log: Optional[Callable[[str], None]] = None,
 ) -> Dict:
     """The ``repro fuzz`` campaign: ``iters`` programs, each under every
     protocol.  Returns a summary dict; ``summary["failures"]`` is empty
-    iff every run agreed with the oracle."""
+    iff every run agreed with the oracle.
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultPlan`, dict, or CLI
+    string) subjects every run to seeded fault injection; the oracle
+    comparison is unchanged, and ``summary["traffic"]`` reports the
+    recovery counters (nonzero retransmits prove faults fired).
+    """
+    from repro.faults.plan import FaultPlan
+
     say = log or (lambda s: None)
+    faults = FaultPlan.coerce(faults)
+    traffic: Dict[str, int] = {k: 0 for k in TRAFFIC_KEYS}
     seeds = [seed + i for i in range(iters)]
     failures: List[FuzzFailure] = []
     done = 0
@@ -357,18 +408,22 @@ def fuzz_run(
             jobs = 1
 
     if jobs > 1:
-        cleared = _parallel_clean_scan(seeds, n_procs, protocols, jobs)
+        cleared = _parallel_clean_scan(
+            seeds, n_procs, protocols, jobs, faults=faults, traffic_out=traffic
+        )
         if cleared is not None:
             say(f"{iters} iterations x {len(protocols)} protocols clean "
                 f"(parallel, {jobs} jobs)")
             return {"iters": iters, "protocols": list(protocols),
-                    "n_procs": n_procs, "failures": []}
+                    "n_procs": n_procs, "failures": [], "traffic": traffic}
         say("parallel scan reported a failure; rerunning sequentially")
+        traffic = {k: 0 for k in TRAFFIC_KEYS}
 
     for i, it_seed in enumerate(seeds):
         fs = fuzz_iteration(
             i, it_seed, n_procs, n_ops, protocols,
             mode=mode, do_minimize=do_minimize, window=window,
+            faults=faults, traffic_out=traffic,
         )
         done += 1
         if fs:
@@ -391,6 +446,7 @@ def fuzz_run(
         "protocols": list(protocols),
         "n_procs": n_procs,
         "failures": [f.to_dict() for f in failures],
+        "traffic": traffic,
     }
 
 

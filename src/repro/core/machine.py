@@ -10,6 +10,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass
 from typing import Iterator, List, Optional, Sequence
 
@@ -97,14 +98,31 @@ class Machine:
         trace_capacity: int = 1 << 16,
         check_level: str = "sync",
         value_model: bool = False,
+        faults=None,
+        stall_cycles: Optional[int] = None,
     ) -> None:
         # Import here to avoid a cycle (protocols import nothing from core,
         # but core.__init__ re-exports both directions for users).
+        from repro.faults.plan import FaultPlan
         from repro.protocols import make_protocol
 
         self.config = config
         self.sim = Simulator(max_cycles=max_cycles)
-        self.fabric = Fabric(config, self.sim)
+        # ``faults`` accepts a FaultPlan, a plan dict, or the CLI string
+        # form.  Only an *active* plan swaps in the reliable fabric; an
+        # inert (zero-rate) plan keeps the plain fabric, so its runs are
+        # bit-identical to no-faults runs.
+        self.fault_plan = FaultPlan.coerce(faults)
+        if self.fault_plan is not None and self.fault_plan.active:
+            from repro.faults.reliable import ReliableFabric
+
+            self.fabric = ReliableFabric(config, self.sim, self.fault_plan)
+        else:
+            self.fabric = Fabric(config, self.sim)
+        if stall_cycles is None:
+            env = os.environ.get("REPRO_STALL_CYCLES", "")
+            stall_cycles = int(env) if env else 0
+        self.stall_cycles = stall_cycles
         self.stats = MachineStats(config.n_procs)
         self.space = AddressSpace(config)
         self.home_of = self.space.build_block_home_lookup()
@@ -175,6 +193,10 @@ class Machine:
         for node, gen in zip(self.nodes, programs):
             node.proc.set_program(gen)
             node.proc.start()
+        if self.stall_cycles:
+            from repro.faults.watchdog import StallWatchdog
+
+            StallWatchdog(self, self.stall_cycles).arm()
         self.sim.run()
         if self._finished != self.config.n_procs:
             stuck = [

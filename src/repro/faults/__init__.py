@@ -1,0 +1,37 @@
+"""Fault injection and recovery (DESIGN.md §10).
+
+Public surface:
+
+* :class:`FaultPlan` — seeded, JSON round-trippable description of an
+  adversarial-delivery scenario (drop/dup/delay/reorder rates, burst
+  windows, (src, dst, channel) filter, recovery tuning);
+* :class:`FaultInjector` — the deterministic per-message fault oracle;
+* :class:`ReliableFabric` — the NIC-boundary recovery layer (sequence
+  numbers, dedup, in-order delivery, ack/retransmit with backoff) that
+  lets every protocol survive injected faults unmodified;
+* :class:`StallWatchdog` / :class:`SimulationStall` — no-progress
+  detection turning livelocks into structured failures.
+
+``ReliableFabric`` is intentionally *not* imported eagerly: when faults
+are off, nothing in this package touches the simulation hot path.
+"""
+
+from repro.faults.inject import Decision, FaultInjector
+from repro.faults.plan import CHANNELS, FaultPlan
+from repro.faults.watchdog import (
+    DEFAULT_STALL_CYCLES,
+    ENV_STALL_CYCLES,
+    SimulationStall,
+    StallWatchdog,
+)
+
+__all__ = [
+    "CHANNELS",
+    "DEFAULT_STALL_CYCLES",
+    "Decision",
+    "ENV_STALL_CYCLES",
+    "FaultInjector",
+    "FaultPlan",
+    "SimulationStall",
+    "StallWatchdog",
+]

@@ -1,0 +1,72 @@
+"""The per-message fault oracle.
+
+:class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete per-message decisions.  The fabric consults it once per
+physical transmission (first sends, retransmits, and acks alike); the
+injector owns the single seeded PRNG stream, so the fault schedule is a
+pure function of (plan, event order) and the simulator's deterministic
+event order makes whole runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan
+
+#: A transmission the injector leaves alone (shared, immutable).
+_CLEAN = None  # set below, after Decision is defined
+
+
+class Decision:
+    """What happens to one physical transmission."""
+
+    __slots__ = ("drop", "dup", "extra")
+
+    def __init__(self, drop: bool = False, dup: bool = False, extra: int = 0) -> None:
+        self.drop = drop
+        self.dup = dup
+        self.extra = extra  # added transit cycles (delay / reorder jitter)
+
+    def __repr__(self) -> str:
+        return f"Decision(drop={self.drop}, dup={self.dup}, extra={self.extra})"
+
+
+_CLEAN = Decision()
+
+
+class FaultInjector:
+    """Seeded, deterministic fault decisions for a whole run."""
+
+    __slots__ = ("plan", "rng")
+
+    def __init__(self, plan: FaultPlan, seed=None) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed if seed is None else seed)
+
+    def decide(self, src: int, dst: int, channel: str, t: int) -> Decision:
+        """The fate of one transmission injected at time ``t``.
+
+        Messages outside the plan's (src, dst, channel) filter are
+        always clean.  Inside a burst window every rate is multiplied
+        by ``burst_mult`` (clamped to 1.0).
+        """
+        plan = self.plan
+        if not plan.matches(src, dst, channel):
+            return _CLEAN
+        rng = self.rng
+        mult = plan.burst_mult if plan.in_burst(t) else 1.0
+        if rng.random() < min(1.0, plan.drop * mult):
+            # A dropped message needs no further decisions; still a
+            # single decision point so schedules shift minimally.
+            return Decision(drop=True)
+        dup = rng.random() < min(1.0, plan.dup * mult)
+        extra = 0
+        if plan.delay_cycles:
+            if plan.delay and rng.random() < min(1.0, plan.delay * mult):
+                extra += rng.randint(1, plan.delay_cycles)
+            if plan.reorder and rng.random() < min(1.0, plan.reorder * mult):
+                extra += rng.randint(1, plan.delay_cycles)
+        if not dup and not extra:
+            return _CLEAN
+        return Decision(dup=dup, extra=extra)

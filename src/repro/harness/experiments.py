@@ -119,11 +119,17 @@ def prefetch(
     jobs: int = 1,
     store=_UNSET,
     timeout: Optional[float] = None,
+    on_failure: str = "raise",
+    failures_out=None,
 ) -> Dict[ExperimentSpec, RunResult]:
     """Warm the memo for ``specs``, in parallel when ``jobs > 1``.
 
     After this returns, the table/figure functions below render the
-    covered artifacts without running any simulation.
+    covered artifacts without running any simulation.  With
+    ``on_failure="record"`` failed specs are persisted as
+    :class:`~repro.results.store.RunFailure` records (and reported via
+    ``failures_out``) instead of aborting the sweep; they are then
+    absent from the returned dict.
     """
     from repro.harness import runner
 
@@ -132,9 +138,12 @@ def prefetch(
     missing = [s for s in dict.fromkeys(specs) if s not in _MEMO]
     if missing:
         _MEMO.update(
-            runner.run_parallel(missing, jobs=jobs, store=store, timeout=timeout)
+            runner.run_parallel(
+                missing, jobs=jobs, store=store, timeout=timeout,
+                on_failure=on_failure, failures_out=failures_out,
+            )
         )
-    return {s: _MEMO[s] for s in specs}
+    return {s: _MEMO[s] for s in specs if s in _MEMO}
 
 
 # ---------------------------------------------------------------------------

@@ -10,11 +10,23 @@ leaves every run warm for future sessions.
 Fault model, per job:
 
 * **store hit** — served without spawning a worker;
-* **timeout** — the worker is terminated and the job retried once;
+* **timeout** — the worker is *killed* (terminate, then SIGKILL if it
+  lingers) and the job retried once;
 * **crash** (non-zero exit, killed, or result missing from the store) —
   retried once;
-* a job that fails after its retry raises :class:`ExperimentError` and
-  the remaining workers are torn down.
+* **structured failure** — the worker caught the exception itself
+  (stall watchdog, retransmit cap, invariant violation, ...) and
+  persisted a :class:`RunFailure` before exiting; deterministic, so it
+  is *not* retried;
+* a job that still has no result is persisted as a :class:`RunFailure`
+  and then either raised as :class:`ExperimentError`
+  (``on_failure="raise"``, the default) or logged and skipped
+  (``on_failure="record"``), leaving the rest of the sweep to finish.
+
+Workers run with the simulation stall watchdog enabled
+(``REPRO_STALL_CYCLES``, default :data:`DEFAULT_STALL_CYCLES` unless the
+caller pinned it), so a livelocked spec becomes a recorded failure, not
+a hung pool.
 
 Determinism: workers inherit nothing mutable — a spec is pure data and
 ``spec.run()`` is a pure function of it (fixed seeds, DESIGN.md §7) —
@@ -33,17 +45,24 @@ from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.machine import RunResult
+from repro.faults.watchdog import DEFAULT_STALL_CYCLES, ENV_STALL_CYCLES
 from repro.harness.spec import ExperimentSpec
-from repro.results.store import ResultStore
+from repro.results.store import ResultStore, RunFailure
 
 logger = logging.getLogger("repro.runner")
 
 #: Poll interval of the supervisor loop, seconds.
 _POLL = 0.02
 
+#: Exit code a worker uses after persisting a structured RunFailure.
+FAILURE_EXIT = 3
+
+#: Grace period between terminate() and SIGKILL, seconds.
+_KILL_GRACE = 5.0
+
 
 class ExperimentError(RuntimeError):
-    """A job failed (crash or timeout) even after its retry."""
+    """A job failed (crash, stall, or timeout) even after its retry."""
 
 
 def _pool_context():
@@ -53,10 +72,32 @@ def _pool_context():
 
 
 def _worker(spec_dict: dict, store_root: str) -> None:
-    """Worker entry point: run one spec, persist the result, exit 0."""
+    """Worker entry: run one spec, persist the result (or the failure).
+
+    The stall watchdog is enabled by default so a livelocked simulation
+    raises :class:`~repro.faults.watchdog.SimulationStall` instead of
+    hanging; any exception is persisted as a :class:`RunFailure` and
+    signalled to the supervisor with :data:`FAILURE_EXIT`.
+    """
+    os.environ.setdefault(ENV_STALL_CYCLES, str(DEFAULT_STALL_CYCLES))
     spec = ExperimentSpec.from_dict(spec_dict)
-    result = spec.run()
-    ResultStore(store_root).save(spec, result)
+    store = ResultStore(store_root)
+    try:
+        result = spec.run()
+    except Exception as exc:
+        store.save_failure(spec, RunFailure.from_exception(spec, exc))
+        raise SystemExit(FAILURE_EXIT)
+    store.save(spec, result)
+
+
+def _kill(proc) -> None:
+    """Make sure a worker process is dead: terminate, then SIGKILL."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(_KILL_GRACE)
+        if proc.is_alive():
+            proc.kill()
+    proc.join()
 
 
 def _dedupe(specs: Iterable[ExperimentSpec]) -> List[ExperimentSpec]:
@@ -67,11 +108,42 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def _handle_failure(
+    spec: ExperimentSpec,
+    failure: RunFailure,
+    store: Optional[ResultStore],
+    on_failure: str,
+    failures_out: Optional[Dict[ExperimentSpec, RunFailure]],
+    attempts: int,
+) -> None:
+    """Persist + record a terminal job failure; raise in "raise" mode."""
+    if store is not None and store.load_failure(spec) is None:
+        store.save_failure(spec, failure)
+    if failures_out is not None:
+        failures_out[spec] = failure
+    if on_failure == "raise":
+        raise ExperimentError(
+            f"{spec.label()}: {failure.kind}: {failure.message} "
+            f"after {attempts} attempt(s)"
+        )
+    logger.warning(
+        "%s: %s: %s (failure recorded; continuing)",
+        spec.label(), failure.kind, failure.message,
+    )
+
+
 def run_serial(
     specs: Sequence[ExperimentSpec],
     store: Optional[ResultStore] = None,
+    on_failure: str = "raise",
+    failures_out: Optional[Dict[ExperimentSpec, RunFailure]] = None,
 ) -> Dict[ExperimentSpec, RunResult]:
-    """In-process baseline: same store protocol, no pool."""
+    """In-process baseline: same store protocol, no pool.
+
+    ``on_failure="raise"`` re-raises the run's exception; ``"record"``
+    persists a :class:`RunFailure` and moves on (the failed spec is then
+    absent from the returned dict).
+    """
     specs = _dedupe(specs)
     results: Dict[ExperimentSpec, RunResult] = {}
     for i, spec in enumerate(specs, 1):
@@ -81,7 +153,21 @@ def run_serial(
             logger.info("[%d/%d] %s (store hit)", i, len(specs), spec.label())
             continue
         t0 = time.monotonic()
-        result = spec.run()
+        try:
+            result = spec.run()
+        except Exception as exc:
+            failure = RunFailure.from_exception(spec, exc)
+            if store is not None:
+                store.save_failure(spec, failure)
+            if failures_out is not None:
+                failures_out[spec] = failure
+            if on_failure == "raise":
+                raise
+            logger.warning(
+                "[%d/%d] %s: %s: %s (failure recorded; continuing)",
+                i, len(specs), spec.label(), failure.kind, failure.message,
+            )
+            continue
         if store is not None:
             store.save(spec, result)
         results[spec] = result
@@ -97,30 +183,45 @@ def run_parallel(
     store: Optional[ResultStore] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    on_failure: str = "raise",
+    failures_out: Optional[Dict[ExperimentSpec, RunFailure]] = None,
 ) -> Dict[ExperimentSpec, RunResult]:
     """Run every spec, fanned out over ``jobs`` worker processes.
 
-    Returns ``{spec: RunResult}`` covering every input spec.  ``timeout``
-    is per job, in seconds, and is honored even when the fan-out degrades
-    to a single worker (``jobs <= 1`` or one spec): the job still runs in
-    a supervised subprocess so a hang fails — with the same retry policy —
-    instead of blocking the parent forever.  Only with no ``timeout`` does
-    the degraded path fall back to the in-process :func:`run_serial`.
+    Returns ``{spec: RunResult}``.  ``timeout`` is per job, in seconds,
+    and is honored even when the fan-out degrades to a single worker
+    (``jobs <= 1`` or one spec): the job still runs in a supervised
+    subprocess so a hang fails — with the same retry policy — instead of
+    blocking the parent forever.  Only with no ``timeout`` does the
+    degraded path fall back to the in-process :func:`run_serial`.
+
+    ``on_failure`` selects what a *terminal* job failure does after its
+    :class:`RunFailure` is persisted to the store: ``"raise"`` (default)
+    raises :class:`ExperimentError` and tears the pool down;
+    ``"record"`` logs, optionally reports via ``failures_out``, and
+    keeps going — the failed spec is then simply absent from the result.
     When ``store`` is None a throwaway store in a temp directory carries
     results between workers and parent.
     """
+    if on_failure not in ("raise", "record"):
+        raise ValueError(f"on_failure must be 'raise' or 'record', got {on_failure!r}")
     specs = _dedupe(specs)
     jobs = default_jobs() if jobs is None else jobs
     if jobs <= 1 or len(specs) <= 1:
         if timeout is None:
-            return run_serial(specs, store=store)
+            return run_serial(
+                specs, store=store, on_failure=on_failure, failures_out=failures_out
+            )
         # A timeout needs a killable worker: supervise with one slot
         # rather than silently dropping the timeout/retry guarantees.
         jobs = 1
     if store is None:
         with tempfile.TemporaryDirectory(prefix="repro-results-") as tmp:
-            return _supervise(specs, jobs, ResultStore(tmp), timeout, retries)
-    return _supervise(specs, jobs, store, timeout, retries)
+            return _supervise(
+                specs, jobs, ResultStore(tmp), timeout, retries,
+                on_failure, failures_out,
+            )
+    return _supervise(specs, jobs, store, timeout, retries, on_failure, failures_out)
 
 
 def _supervise(
@@ -129,6 +230,8 @@ def _supervise(
     store: ResultStore,
     timeout: Optional[float],
     retries: int,
+    on_failure: str,
+    failures_out: Optional[Dict[ExperimentSpec, RunFailure]],
 ) -> Dict[ExperimentSpec, RunResult]:
     ctx = _pool_context()
     total = len(specs)
@@ -157,9 +260,7 @@ def _supervise(
 
     def _teardown() -> None:
         for proc in running:
-            if proc.is_alive():
-                proc.terminate()
-            proc.join()
+            _kill(proc)
 
     try:
         while pending or running:
@@ -170,11 +271,17 @@ def _supervise(
             for proc in list(running):
                 spec, attempts, t0 = running[proc]
                 elapsed = time.monotonic() - t0
+                failure: Optional[RunFailure] = None
                 if proc.is_alive():
                     if timeout is not None and elapsed > timeout:
-                        proc.terminate()
-                        proc.join()
-                        failure = f"timed out after {timeout:.0f}s"
+                        _kill(proc)
+                        failure = RunFailure(
+                            kind="timeout",
+                            message=f"timed out after {timeout:.0f}s",
+                            traceback="",
+                            fingerprint=spec.fingerprint(),
+                            spec=spec.to_dict(),
+                        )
                     else:
                         continue
                 else:
@@ -190,19 +297,48 @@ def _supervise(
                                 done, total, spec.label(), elapsed,
                             )
                             continue
-                        failure = "worker exited cleanly but stored no result"
+                        failure = RunFailure(
+                            kind="no-result",
+                            message="worker exited cleanly but stored no result",
+                            traceback="",
+                            fingerprint=spec.fingerprint(),
+                            spec=spec.to_dict(),
+                        )
+                    elif proc.exitcode == FAILURE_EXIT:
+                        # The worker diagnosed the failure itself (stall,
+                        # invariant, ...) and already persisted the record.
+                        failure = store.load_failure(spec) or RunFailure(
+                            kind="crash",
+                            message=f"worker died (exit code {proc.exitcode})",
+                            traceback="",
+                            fingerprint=spec.fingerprint(),
+                            spec=spec.to_dict(),
+                        )
                     else:
-                        failure = f"worker died (exit code {proc.exitcode})"
+                        failure = RunFailure(
+                            kind="crash",
+                            message=f"worker died (exit code {proc.exitcode})",
+                            traceback="",
+                            fingerprint=spec.fingerprint(),
+                            spec=spec.to_dict(),
+                        )
                 del running[proc]
-                if attempts < retries:
+                # Structured failures are deterministic — the same spec
+                # would stall/violate identically — so retrying only
+                # burns a worker.  Crashes and timeouts get the retry.
+                retryable = failure.kind in ("timeout", "crash", "no-result")
+                if retryable and attempts < retries:
                     logger.warning(
-                        "%s: %s; retrying (%d/%d)",
-                        spec.label(), failure, attempts + 1, retries,
+                        "%s: %s: %s; retrying (%d/%d)",
+                        spec.label(), failure.kind, failure.message,
+                        attempts + 1, retries,
                     )
                     pending.append((spec, attempts + 1))
                 else:
-                    raise ExperimentError(
-                        f"{spec.label()}: {failure} after {attempts + 1} attempts"
+                    done += 1
+                    _handle_failure(
+                        spec, failure, store, on_failure, failures_out,
+                        attempts + 1,
                     )
     finally:
         _teardown()

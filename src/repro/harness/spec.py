@@ -18,7 +18,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
 
 #: Bumped whenever the *meaning* of a spec field changes (fingerprints
 #: then no longer collide with results computed under the old meaning).
@@ -44,6 +46,13 @@ class ExperimentSpec:
     :meth:`fingerprint`, meaning checked and unchecked runs share one
     result-store slot.  ``REPRO_CHECK_INVARIANTS=1`` in the environment
     forces it on for every :meth:`run`.
+
+    ``faults`` attaches a :class:`~repro.faults.plan.FaultPlan` (also
+    accepted as a dict or the CLI string form, e.g. ``"drop=0.02"``).
+    Unlike checking, faults *do* change the simulated numbers, so the
+    plan is part of equality, hashing and :meth:`fingerprint`; a spec
+    without faults fingerprints exactly as it did before the fault
+    subsystem existed, keeping old result stores warm.
     """
 
     app: str
@@ -53,6 +62,7 @@ class ExperimentSpec:
     classify: bool = False
     small: bool = False
     overrides: Tuple[Tuple[str, Any], ...] = field(default=())
+    faults: Optional[FaultPlan] = None
     check_invariants: bool = field(default=False, compare=False)
 
     #: ``to_dict`` keys that do not affect the simulated numbers and are
@@ -66,6 +76,7 @@ class ExperimentSpec:
         object.__setattr__(
             self, "overrides", tuple(sorted((str(k), v) for k, v in over))
         )
+        object.__setattr__(self, "faults", FaultPlan.coerce(self.faults))
         if self.kind not in MACHINE_KINDS:
             raise ValueError(
                 f"unknown machine kind {self.kind!r} (expected one of {MACHINE_KINDS})"
@@ -114,6 +125,11 @@ class ExperimentSpec:
             for k, v in self.to_dict().items()
             if k not in self.TRANSIENT_KEYS
         }
+        # A fault-free spec fingerprints exactly as it did before the
+        # ``faults`` field existed, so pinned fingerprints and old
+        # result stores stay valid.
+        if d.get("faults") is None:
+            d.pop("faults", None)
         canon = json.dumps(
             {"spec_version": SPEC_VERSION, **d},
             sort_keys=True,
@@ -130,6 +146,7 @@ class ExperimentSpec:
             "classify": self.classify,
             "small": self.small,
             "overrides": [[k, v] for k, v in self.overrides],
+            "faults": self.faults.to_dict() if self.faults is not None else None,
             "check_invariants": self.check_invariants,
         }
 
@@ -143,6 +160,7 @@ class ExperimentSpec:
             classify=d["classify"],
             small=d["small"],
             overrides=tuple((k, v) for k, v in d["overrides"]),
+            faults=d.get("faults"),
             check_invariants=d.get("check_invariants", False),
         )
 
@@ -154,6 +172,7 @@ class ExperimentSpec:
             + (" classify" if self.classify else "")
             + (" small" if self.small else "")
             + extra
+            + (f" faults[{self.faults.label()}]" if self.faults else "")
         )
 
     # -- execution ------------------------------------------------------------
@@ -188,6 +207,7 @@ class ExperimentSpec:
             classify=self.classify,
             check_invariants=check,
             value_model=value_check,
+            faults=self.faults,
         )
         app = APPS[self.app](machine, **self.app_params())
         result = machine.run([app.program(p) for p in range(cfg.n_procs)])

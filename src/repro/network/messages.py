@@ -35,6 +35,7 @@ class MsgType(IntEnum):
     FLAG_SET = 17         # producer: release semantics done, set the flag
     FLAG_WAIT = 18        # consumer: block until the flag is set
     FLAG_GRANT = 19       # home -> consumer, flag observed set
+    RD_ACK = 20           # reliable-delivery cumulative ack (faults only)
 
 
 #: Message types that carry a full cache line of payload.
@@ -43,15 +44,33 @@ DATA_BEARING = frozenset(
 )
 
 
+#: Reliable-delivery / fault-injection counters (kept separate from the
+#: per-type logical counters so the paper-figure bandwidth numbers keep
+#: meaning "messages the protocol asked for"; all zero when faults are
+#: off).
+RELIABILITY_COUNTERS = (
+    "retransmits",      # extra physical transmissions after a timeout
+    "dup_drops",        # arrivals discarded by receiver-side dedup
+    "drops_injected",   # messages the fault plan lost in flight
+    "dups_injected",    # duplicate copies the fault plan created
+    "delays_injected",  # messages given extra transit jitter
+)
+
+
 class MessageStats:
     """Global traffic counters, by message type."""
 
-    __slots__ = ("count", "bytes", "total_hops")
+    __slots__ = ("count", "bytes", "total_hops") + RELIABILITY_COUNTERS
 
     def __init__(self) -> None:
         self.count: Counter = Counter()
         self.bytes: Counter = Counter()
         self.total_hops: int = 0
+        self.retransmits: int = 0
+        self.dup_drops: int = 0
+        self.drops_injected: int = 0
+        self.dups_injected: int = 0
+        self.delays_injected: int = 0
 
     def record(self, mtype: MsgType, size: int, hops: int) -> None:
         self.count[mtype] += 1
@@ -78,6 +97,9 @@ class MessageStats:
             "count": {MsgType(k).name: v for k, v in self.count.items()},
             "bytes": {MsgType(k).name: v for k, v in self.bytes.items()},
             "total_hops": self.total_hops,
+            "reliability": {
+                name: getattr(self, name) for name in RELIABILITY_COUNTERS
+            },
         }
 
     @classmethod
@@ -86,4 +108,8 @@ class MessageStats:
         s.count = Counter({MsgType[k]: v for k, v in d["count"].items()})
         s.bytes = Counter({MsgType[k]: v for k, v in d["bytes"].items()})
         s.total_hops = d["total_hops"]
+        # Absent in results stored before the fault subsystem existed.
+        rel = d.get("reliability") or {}
+        for name in RELIABILITY_COUNTERS:
+            setattr(s, name, rel.get(name, 0))
         return s

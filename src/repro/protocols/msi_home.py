@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.cache.state import INVALID, RO, RW
+from repro.directory.entry import DIRTY
 from repro.network.messages import MsgType
 
 
@@ -479,4 +480,14 @@ class MSIHomeMixin:
 
     def _h_evict_hint(self, t: int, block: int, src: int) -> None:
         home = self.nodes[self.home_of(block)]
+        entry = home.directory.entries.get(block)
+        if entry is not None and entry.state == DIRTY and entry.owner == src:
+            # Stale hint: ``src`` held the line read-only, issued an
+            # upgrade, and then evicted the RO copy while the grant was
+            # in flight.  The hint (sent after the request, so processed
+            # after the grant was issued) must not erase the exclusive
+            # entry — the requester re-installs the line when the grant
+            # lands (see _h_write_grant_msg).  A dirty owner that really
+            # gives up the line sends a WRITEBACK, never a clean hint.
+            return
         home.directory.evict(block, src, dirty=False)

@@ -3,7 +3,10 @@
 Layout (``.repro-results/`` by default)::
 
     <root>/
-        <fingerprint>.json      one file per completed experiment
+        <fingerprint>.json       one file per completed experiment
+        <fingerprint>.fail.json  structured RunFailure for a crashed /
+                                 stalled / timed-out run (superseded by
+                                 a later successful result)
 
 Each file holds a schema-versioned envelope::
 
@@ -33,8 +36,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import traceback as _traceback
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.machine import RunResult
 from repro.harness.spec import ExperimentSpec
@@ -49,6 +54,68 @@ DEFAULT_ROOT = ".repro-results"
 #: Environment variable that switches on a process-wide default store.
 ENV_STORE_DIR = "REPRO_RESULTS_DIR"
 
+#: Filename suffix of failure records (``<fingerprint>.fail.json``).
+FAILURE_SUFFIX = ".fail.json"
+
+#: Exception class name -> stable failure kind.  Anything unlisted is
+#: recorded under its own class name, so no failure is ever anonymous.
+_KIND_BY_EXCEPTION = {
+    "SimulationStall": "stall",
+    "DeadlockError": "deadlock",
+    "InvariantViolation": "invariant",
+    "ConformanceViolation": "conformance",
+    "TimeoutError": "timeout",
+}
+
+
+@dataclass
+class RunFailure:
+    """A structured record of one crashed / stalled / timed-out run.
+
+    Persisted next to results as ``<fingerprint>.fail.json`` so a failed
+    sweep leaves evidence behind instead of losing the diagnosis with
+    the worker process.  A later *successful* run of the same spec
+    supersedes (deletes) the record.
+    """
+
+    kind: str          # stall | deadlock | invariant | timeout | <ExcName>
+    message: str
+    traceback: str
+    fingerprint: str
+    spec: dict
+
+    @classmethod
+    def from_exception(cls, spec: ExperimentSpec, exc: BaseException) -> "RunFailure":
+        name = type(exc).__name__
+        return cls(
+            kind=_KIND_BY_EXCEPTION.get(name, name),
+            message=str(exc),
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            fingerprint=spec.fingerprint(),
+            spec=spec.to_dict(),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "traceback": self.traceback,
+            "fingerprint": self.fingerprint,
+            "spec": self.spec,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunFailure":
+        return cls(
+            kind=d["kind"],
+            message=d["message"],
+            traceback=d.get("traceback", ""),
+            fingerprint=d["fingerprint"],
+            spec=d.get("spec", {}),
+        )
+
 
 class ResultStore:
     """A directory of ``<fingerprint>.json`` experiment results."""
@@ -62,18 +129,13 @@ class ResultStore:
     def path_for(self, spec: ExperimentSpec) -> Path:
         return self.root / f"{spec.fingerprint()}.json"
 
+    def failure_path_for(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{spec.fingerprint()}{FAILURE_SUFFIX}"
+
     # -- persistence ----------------------------------------------------------
 
-    def save(self, spec: ExperimentSpec, result: RunResult) -> Path:
-        """Atomically persist one result; returns the file written."""
+    def _atomic_write(self, final: Path, payload: dict) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": SCHEMA_VERSION,
-            "fingerprint": spec.fingerprint(),
-            "spec": spec.to_dict(),
-            "result": result.to_dict(),
-        }
-        final = self.path_for(spec)
         fd, tmp = tempfile.mkstemp(
             dir=self.root, prefix=final.stem, suffix=".tmp"
         )
@@ -87,6 +149,26 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        return final
+
+    def save(self, spec: ExperimentSpec, result: RunResult) -> Path:
+        """Atomically persist one result; returns the file written.
+
+        A success supersedes any earlier failure record for the spec.
+        """
+        final = self._atomic_write(
+            self.path_for(spec),
+            {
+                "schema": SCHEMA_VERSION,
+                "fingerprint": spec.fingerprint(),
+                "spec": spec.to_dict(),
+                "result": result.to_dict(),
+            },
+        )
+        try:
+            self.failure_path_for(spec).unlink()
+        except OSError:
+            pass
         return final
 
     def load(self, spec: ExperimentSpec) -> Optional[RunResult]:
@@ -110,15 +192,63 @@ class ResultStore:
     def __contains__(self, spec: ExperimentSpec) -> bool:
         return self.load(spec) is not None
 
+    # -- failure records -------------------------------------------------------
+
+    def save_failure(self, spec: ExperimentSpec, failure: RunFailure) -> Path:
+        """Atomically persist one failure record; returns the file written."""
+        return self._atomic_write(
+            self.failure_path_for(spec),
+            {"schema": SCHEMA_VERSION, **failure.to_dict()},
+        )
+
+    def load_failure(self, spec: ExperimentSpec) -> Optional[RunFailure]:
+        """The stored failure record for ``spec``, or None.
+
+        Same tolerance as :meth:`load`: absent, wrong-schema, or corrupt
+        records read as None, never as errors.
+        """
+        try:
+            with open(self.failure_path_for(spec)) as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            if payload["schema"] != SCHEMA_VERSION:
+                return None
+            return RunFailure.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def failures(self) -> List[RunFailure]:
+        """Every readable failure record in the store."""
+        out: List[RunFailure] = []
+        if not self.root.is_dir():
+            return out
+        for path in sorted(self.root.glob(f"*{FAILURE_SUFFIX}")):
+            try:
+                with open(path) as f:
+                    payload = json.load(f)
+                if payload.get("schema") == SCHEMA_VERSION:
+                    out.append(RunFailure.from_dict(payload))
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue
+        return out
+
     # -- maintenance ----------------------------------------------------------
 
     def __len__(self) -> int:
+        """Number of stored *results* (failure records not included)."""
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(
+            1
+            for p in self.root.glob("*.json")
+            if not p.name.endswith(FAILURE_SUFFIX)
+        )
 
     def clear(self) -> int:
-        """Delete every stored entry; returns how many were removed."""
+        """Delete every stored entry (results and failure records);
+        returns how many files were removed."""
         n = 0
         if self.root.is_dir():
             for p in self.root.glob("*.json"):

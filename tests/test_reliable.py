@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the reliable-delivery layer.
+
+The contract under test is the one the coherence protocols silently rely
+on: whatever the fault plan does to individual transmissions, every
+logical message is handed to its handler exactly once, and messages of
+one (src, dst, channel) stream are handed over in send order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.engine.simulator import Simulator
+from repro.faults.plan import FaultPlan
+from repro.faults.reliable import ReliableFabric
+from repro.faults.watchdog import SimulationStall
+from repro.network.messages import MsgType
+
+import pytest
+
+
+def run_stream(plan, n_msgs, dsts=(1,), data=False):
+    """Send ``n_msgs`` messages 0..n-1 to each dst; return (fabric, log).
+
+    ``log[dst]`` is the sequence of message ids as the handler saw them.
+    """
+    sim = Simulator()
+    fab = ReliableFabric(SystemConfig(n_procs=4), sim, plan)
+    mtype = MsgType.DATA_REPLY if data else MsgType.ACK
+    got = {d: [] for d in dsts}
+    for i in range(n_msgs):
+        for d in dsts:
+            fab.send(0, d, mtype, 0, lambda t, d=d, i=i: got[d].append(i))
+    sim.run()
+    return fab, got
+
+
+rates = st.floats(min_value=0.0, max_value=0.5)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+counts = st.integers(min_value=1, max_value=25)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=counts)
+def test_certain_duplication_is_deduped_to_exactly_once(seed, n):
+    plan = FaultPlan(seed=seed, dup=1.0)
+    fab, got = run_stream(plan, n)
+    assert got[1] == list(range(n))
+    assert fab.stats.dups_injected >= n
+    assert fab.stats.dup_drops >= n  # every duplicate was discarded
+    assert fab.unacked() == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=counts, jitter=st.integers(min_value=1, max_value=2000))
+def test_jitter_reorders_wires_not_handlers(seed, n, jitter):
+    """delay=1.0 scrambles arrival times; the reorder buffer must still
+    hand the protocol the stream in send order, exactly once."""
+    plan = FaultPlan(seed=seed, delay=1.0, delay_cycles=jitter)
+    fab, got = run_stream(plan, n, data=True)
+    assert got[1] == list(range(n))
+    assert fab.stats.delays_injected > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=counts, drop=rates)
+def test_loss_is_fully_recovered(seed, n, drop):
+    """Any drop rate < 1 (acks lossy too): everything still arrives,
+    once, in order — only retransmit traffic grows."""
+    plan = FaultPlan(seed=seed, drop=drop, max_retries=100)
+    fab, got = run_stream(plan, n)
+    assert got[1] == list(range(n))
+    assert fab.unacked() == 0
+    # A dropped *logical* message can only have been recovered by a
+    # retransmit.  (A dropped ack alone need not cause one: a later
+    # cumulative ack may cover it before the timer fires.)
+    if fab.stats.dup_drops == 0 and fab.stats.drops_injected > n:
+        assert fab.stats.retransmits > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=seeds,
+    n=st.integers(min_value=1, max_value=15),
+    drop=st.floats(min_value=0.0, max_value=0.3),
+    dup=rates,
+    delay=rates,
+    reorder=rates,
+)
+def test_combined_faults_preserve_per_stream_fifo(seed, n, drop, dup, delay, reorder):
+    plan = FaultPlan(
+        seed=seed, drop=drop, dup=dup, delay=delay, reorder=reorder,
+        delay_cycles=500, max_retries=100,
+    )
+    fab, got = run_stream(plan, n, dsts=(1, 2, 3))
+    for d in (1, 2, 3):
+        assert got[d] == list(range(n))
+    assert fab.unacked() == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, retries=st.integers(min_value=1, max_value=5))
+def test_retransmit_cap_raises_simulation_stall(seed, retries):
+    plan = FaultPlan(seed=seed, drop=1.0, max_retries=retries)
+    sim = Simulator()
+    fab = ReliableFabric(SystemConfig(n_procs=4), sim, plan)
+    fab.send(0, 1, MsgType.ACK, 0, lambda t: pytest.fail("delivered"))
+    with pytest.raises(SimulationStall) as ei:
+        sim.run()
+    assert ei.value.kind == "retransmit-cap"
+    assert fab.stats.retransmits == retries
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=counts)
+def test_fault_schedule_is_deterministic(seed, n):
+    plan = FaultPlan(seed=seed, drop=0.2, dup=0.2, delay=0.3, max_retries=100)
+    fab1, got1 = run_stream(plan, n)
+    fab2, got2 = run_stream(plan, n)
+    assert got1 == got2
+    assert fab1.stats.to_dict() == fab2.stats.to_dict()

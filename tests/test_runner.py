@@ -168,3 +168,95 @@ class TestFaultHandling:
         results = run_parallel(SPECS[:1], jobs=1, store=None)
         assert set(results) == set(SPECS[:1])
         assert results[SPECS[0]].exec_time > 0
+
+    def test_timeout_kills_the_worker_process(self, tmp_path, monkeypatch):
+        """Regression: a timed-out worker must be dead when run_parallel
+        returns, not left livelocked in the background."""
+        import time as _time
+
+        monkeypatch.setattr(ExperimentSpec, "run", lambda self: _time.sleep(60))
+        failures = {}
+        store = ResultStore(tmp_path / "rs")
+        results = run_parallel(
+            SPECS[:2], jobs=2, store=store, timeout=0.2, retries=0,
+            on_failure="record", failures_out=failures,
+        )
+        assert results == {}
+        assert not mp.active_children(), "worker outlived its timeout"
+        assert set(failures) == set(SPECS[:2])
+        for spec in SPECS[:2]:
+            failure = store.load_failure(spec)
+            assert failure is not None and failure.kind == "timeout"
+            assert "timed out" in failure.message
+
+
+@pytest.mark.skipif(not FORK, reason="needs fork() to monkeypatch workers")
+class TestStructuredFailures:
+    """A livelocked spec becomes a persisted RunFailure, not a hung pool."""
+
+    #: Total message loss with a tiny retry budget: the reliable layer
+    #: raises SimulationStall almost immediately, deterministically.
+    LIVELOCKED = ExperimentSpec(
+        "mp3d", "lrc", n_procs=4, small=True,
+        faults="drop=1.0,max_retries=2",
+    )
+
+    def test_record_mode_persists_and_continues(self, tmp_path):
+        store = ResultStore(tmp_path / "rs")
+        failures = {}
+        results = run_parallel(
+            [self.LIVELOCKED, SPECS[0]], jobs=2, store=store,
+            on_failure="record", failures_out=failures,
+        )
+        # The healthy spec completed; the livelocked one left a record.
+        assert set(results) == {SPECS[0]}
+        assert set(failures) == {self.LIVELOCKED}
+        persisted = store.load_failure(self.LIVELOCKED)
+        assert persisted is not None
+        assert persisted.kind == "stall"
+        assert "retransmit" in persisted.message
+        assert persisted.fingerprint == self.LIVELOCKED.fingerprint()
+        assert not mp.active_children()
+
+    def test_raise_mode_reports_the_diagnosis(self, tmp_path):
+        with pytest.raises(ExperimentError, match="stall"):
+            run_parallel(
+                [self.LIVELOCKED], jobs=2, store=ResultStore(tmp_path / "rs"),
+                timeout=60,
+            )
+
+    def test_structured_failure_is_not_retried(self, tmp_path, monkeypatch):
+        """Stalls are deterministic: the pool must not burn its retry
+        re-running one (crash retries still happen, tested above)."""
+        calls = tmp_path / "calls"
+        calls.mkdir()
+        real_run = ExperimentSpec.run
+
+        def counting_run(self):
+            (calls / str(len(list(calls.iterdir())))).write_text("x")
+            return real_run(self)
+
+        monkeypatch.setattr(ExperimentSpec, "run", counting_run)
+        failures = {}
+        run_parallel(
+            [self.LIVELOCKED], jobs=2, store=ResultStore(tmp_path / "rs"),
+            retries=1, on_failure="record", failures_out=failures,
+        )
+        assert len(list(calls.iterdir())) == 1
+        assert failures[self.LIVELOCKED].kind == "stall"
+
+    def test_run_serial_record_mode(self, tmp_path):
+        store = ResultStore(tmp_path / "rs")
+        failures = {}
+        results = run_serial(
+            [self.LIVELOCKED, SPECS[0]], store=store,
+            on_failure="record", failures_out=failures,
+        )
+        assert set(results) == {SPECS[0]}
+        assert store.load_failure(self.LIVELOCKED).kind == "stall"
+
+    def test_run_serial_raise_mode_reraises_original(self):
+        from repro.faults.watchdog import SimulationStall
+
+        with pytest.raises(SimulationStall):
+            run_serial([self.LIVELOCKED])

@@ -7,7 +7,7 @@ import pytest
 from repro.core.machine import RunResult
 from repro.harness.experiments import clear_cache, run_spec
 from repro.harness.spec import ExperimentSpec
-from repro.results.store import SCHEMA_VERSION, ResultStore
+from repro.results.store import SCHEMA_VERSION, ResultStore, RunFailure
 from repro.stats.classification import CATEGORIES
 
 
@@ -128,6 +128,14 @@ class TestResultStore:
         assert store.clear() == 1
         assert len(store) == 0 and spec not in store
 
+    def test_failure_records_do_not_count_as_results(self, tmp_path, plain_result):
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        store.save_failure(spec, RunFailure.from_exception(spec, ValueError("x")))
+        assert len(store) == 0 and spec not in store
+        store.save(spec, r)
+        assert len(store) == 1
+
     def test_run_spec_uses_store_across_memo_clears(self, tmp_path, monkeypatch):
         store = ResultStore(tmp_path / "rs")
         spec = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
@@ -145,3 +153,60 @@ class TestResultStore:
         assert second.exec_time == first.exec_time
         assert second.summary() == first.summary()
         clear_cache()
+
+
+class TestRunFailureRecords:
+    SPEC = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
+
+    def _failure(self):
+        return RunFailure.from_exception(self.SPEC, ValueError("boom"))
+
+    def test_from_exception_maps_known_kinds(self):
+        from repro.engine.simulator import DeadlockError
+        from repro.faults.watchdog import SimulationStall
+
+        f = RunFailure.from_exception(self.SPEC, SimulationStall("stuck"))
+        assert f.kind == "stall" and f.message == "stuck"
+        assert f.fingerprint == self.SPEC.fingerprint()
+        assert "SimulationStall" in f.traceback or f.traceback
+        assert RunFailure.from_exception(
+            self.SPEC, DeadlockError("d")).kind == "deadlock"
+        # Unknown exceptions keep their class name: never anonymous.
+        assert RunFailure.from_exception(
+            self.SPEC, ValueError("v")).kind == "ValueError"
+
+    def test_save_then_load_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "rs")
+        f = self._failure()
+        path = store.save_failure(self.SPEC, f)
+        assert path.name == f"{self.SPEC.fingerprint()}.fail.json"
+        back = store.load_failure(self.SPEC)
+        assert back == f
+        assert store.failures() == [f]
+
+    def test_json_round_trip(self):
+        f = self._failure()
+        assert RunFailure.from_dict(json.loads(json.dumps(f.to_dict()))) == f
+
+    def test_absent_and_corrupt_read_as_none(self, tmp_path):
+        store = ResultStore(tmp_path / "rs")
+        assert store.load_failure(self.SPEC) is None
+        store.save_failure(self.SPEC, self._failure())
+        store.failure_path_for(self.SPEC).write_text("{ not json")
+        assert store.load_failure(self.SPEC) is None
+        assert store.failures() == []
+
+    def test_success_supersedes_failure(self, tmp_path, plain_result):
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        store.save_failure(spec, RunFailure.from_exception(spec, ValueError("x")))
+        assert store.load_failure(spec) is not None
+        store.save(spec, r)
+        assert store.load_failure(spec) is None
+        assert store.load(spec) is not None
+
+    def test_clear_removes_failure_records_too(self, tmp_path):
+        store = ResultStore(tmp_path / "rs")
+        store.save_failure(self.SPEC, self._failure())
+        assert store.clear() == 1
+        assert store.failures() == []
