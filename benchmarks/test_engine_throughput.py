@@ -1,0 +1,124 @@
+"""Generator vs record/replay engine throughput (DESIGN.md §11).
+
+Writes ``BENCH_engine.json`` at the repo root — the performance
+trajectory file for the execution engine.  Each cell of a fixed spec
+matrix is run under both engines and timed (best of ``REPS``); the
+recorded stream is warmed first, so the replay numbers measure the
+steady-state sweep cost the engine was built for: the record phase is
+paid once per workload, then every (protocol, config) cell replays the
+packed arrays.
+
+Two cell groups:
+
+* ``warm`` — hit-dominated configurations (large cache, wide lines,
+  long scheduling quantum): the per-reference CPU loop dominates wall
+  time, which is exactly what the span-batched replay driver collapses.
+  The headline ``warm_sweep`` aggregate must stay ≥ 5x.
+* ``wt-bound`` — lazy-release-consistency cells on the same warm
+  machine, where coalescing-buffer write-through traffic bounds both
+  engines; these keep the trajectory honest about protocol-limited
+  sweeps (replay still must not be slower).
+
+The per-cell ``replay faster than generator`` assertion is the CI
+smoke gate; cells were chosen with ≥ 1.4x margin so scheduler noise on
+shared runners does not flake it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record
+from repro.harness.spec import ExperimentSpec
+from repro.program.stream import clear_stream_cache
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+REPS = 3
+
+WARM = (("cache_size", 1 << 20), ("line_size", 512), ("quantum", 8000))
+WARM_SHORT_Q = (("cache_size", 1 << 20), ("line_size", 512), ("quantum", 2000))
+WT_BOUND = (("cache_size", 1 << 20), ("line_size", 256), ("quantum", 8000))
+
+#: (group, app, protocol, config overrides) — the fixed spec matrix.
+CELLS = [
+    ("warm", "gauss", "sc", WARM),
+    ("warm", "gauss", "erc", WARM),
+    ("warm", "gauss", "sc", WARM_SHORT_Q),
+    ("wt-bound", "gauss", "lrc", WT_BOUND),
+    ("wt-bound", "fft", "lrc", WT_BOUND),
+]
+
+
+def _time(fn):
+    best = None
+    out = None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None or dt < best else best
+    return out, best
+
+
+def _aggregate(cells):
+    cycles = sum(c["cycles"] for c in cells)
+    gen = sum(c["generator_s"] for c in cells)
+    rep = sum(c["replay_s"] for c in cells)
+    return {
+        "cells": len(cells),
+        "cycles": cycles,
+        "generator_cps": round(cycles / gen),
+        "replay_cps": round(cycles / rep),
+        "speedup": round(gen / rep, 2),
+    }
+
+
+def test_engine_throughput():
+    out = []
+    for group, app, proto, over in CELLS:
+        spec = ExperimentSpec(app, proto, n_procs=4, small=False, overrides=over)
+        clear_stream_cache()
+        t0 = time.perf_counter()
+        spec.recorded_stream()  # cold: one record phase per workload
+        record_s = time.perf_counter() - t0
+        result, gen_s = _time(lambda: spec.run(engine="generator"))
+        _, rep_s = _time(lambda: spec.run(engine="replay"))
+        cell = {
+            "group": group,
+            "app": app,
+            "protocol": proto,
+            "n_procs": 4,
+            "overrides": dict(over),
+            "cycles": result.exec_time,
+            "references": result.stats.references,
+            "record_s": round(record_s, 4),
+            "generator_s": round(gen_s, 4),
+            "replay_s": round(rep_s, 4),
+            "generator_cps": round(result.exec_time / gen_s),
+            "replay_cps": round(result.exec_time / rep_s),
+            "speedup": round(gen_s / rep_s, 2),
+        }
+        out.append(cell)
+        # CI smoke gate: replay must never lose to the generator path.
+        assert rep_s < gen_s, f"replay slower than generator on {app}/{proto}"
+
+    warm = _aggregate([c for c in out if c["group"] == "warm"])
+    payload = {
+        "benchmark": "engine_throughput",
+        "engines": ("generator", "replay"),
+        "reps": REPS,
+        "cells": out,
+        "warm_sweep": warm,
+        "overall": _aggregate(out),
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    text = (
+        f"Engine throughput: warm-cache sweep {warm['speedup']}x "
+        f"({warm['generator_cps'] / 1e6:.1f}M -> "
+        f"{warm['replay_cps'] / 1e6:.1f}M cycles/s), "
+        f"overall {payload['overall']['speedup']}x -> {OUT.name}"
+    )
+    print("\n" + text)
+    record(text)

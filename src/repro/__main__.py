@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 import time
 
@@ -58,6 +59,7 @@ from repro.harness.experiments import (
     table3_miss_rates,
 )
 from repro.harness.presets import APP_PRESETS, APP_PRESETS_SMALL
+from repro.harness.spec import ENGINES, ENV_ENGINE
 from repro.protocols import PROTOCOLS
 from repro.results.store import DEFAULT_ROOT, ResultStore
 from repro.stats.report import format_table
@@ -193,8 +195,10 @@ def _cmd_trace(args) -> int:
         trace_capacity=args.capacity,
         check_level=args.check_level,
     )
+    from repro.apps.common import AppContext
+
     params = (APP_PRESETS_SMALL if args.small else APP_PRESETS)[args.app]
-    app = APPS[args.app](machine, **params)
+    app = APPS[args.app](AppContext.for_machine(machine), **params)
     tracer = machine.tracer
     try:
         result = machine.run([app.program(p) for p in range(cfg.n_procs)])
@@ -356,6 +360,17 @@ def main(argv=None) -> int:
         "(pure observation: cycle counts and fingerprints are unchanged; "
         "cached results are served without re-checking)"
     )
+    engine_help = (
+        "execution engine: 'replay' (default) records each app's "
+        "reference streams once and drives protocols from packed "
+        "arrays; 'generator' resumes app generators per reference "
+        "(kept for differential testing) — results are bit-identical"
+    )
+
+    def add_engine(p) -> None:
+        p.add_argument(
+            "--engine", default=None, choices=ENGINES, help=engine_help
+        )
 
     p_run = sub.add_parser("run", help="run one app under one protocol")
     p_run.add_argument("app", choices=sorted(APPS))
@@ -363,12 +378,14 @@ def main(argv=None) -> int:
     p_run.add_argument("--procs", type=int, default=16)
     p_run.add_argument("--small", action="store_true")
     p_run.add_argument("--check-invariants", action="store_true", help=check_help)
+    add_engine(p_run)
 
     p_cmp = sub.add_parser("compare", help="run one app under all protocols")
     p_cmp.add_argument("app", choices=sorted(APPS))
     p_cmp.add_argument("--procs", type=int, default=16)
     p_cmp.add_argument("--small", action="store_true")
     p_cmp.add_argument("--check-invariants", action="store_true", help=check_help)
+    add_engine(p_cmp)
 
     p_fig = sub.add_parser(
         "figures",
@@ -397,6 +414,7 @@ def main(argv=None) -> int:
         help="per-experiment timeout in seconds (one retry on expiry)",
     )
     p_fig.add_argument("--check-invariants", action="store_true", help=check_help)
+    add_engine(p_fig)
 
     p_tr = sub.add_parser(
         "trace",
@@ -471,6 +489,7 @@ def main(argv=None) -> int:
         "the oracle comparison is unchanged — the reliable-delivery "
         "layer must recover transparently",
     )
+    add_engine(p_fz)
 
     p_fl = sub.add_parser(
         "faults",
@@ -500,8 +519,12 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=1,
         help="verify iterations in parallel worker processes",
     )
+    add_engine(p_fl)
 
     args = ap.parse_args(argv)
+    if getattr(args, "engine", None):
+        # Via the environment so parallel workers inherit the choice.
+        os.environ[ENV_ENGINE] = args.engine
     if args.cmd == "list":
         return _cmd_list(args)
     if args.cmd == "run":

@@ -8,7 +8,7 @@ generators that execute the real algorithms' control flow (see
 DESIGN.md for the MINT-substitution rationale).
 """
 
-from repro.apps.common import App, APPS, register
+from repro.apps.common import App, AppContext, APPS, register
 from repro.apps.gauss import Gauss
 from repro.apps.fft import FFT
 from repro.apps.blu import BlockedLU
@@ -20,6 +20,7 @@ from repro.apps.fuzz_app import Fuzz
 
 __all__ = [
     "App",
+    "AppContext",
     "APPS",
     "register",
     "Gauss",

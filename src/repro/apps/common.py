@@ -1,8 +1,22 @@
 """Application framework.
 
-An :class:`App` is constructed against a machine (it allocates its shared
-data in the machine's address space) and then produces one reference-
-stream generator per processor via :meth:`App.program`.
+An :class:`App` is constructed against an :class:`AppContext` — a
+lightweight ``(SystemConfig, AddressSpace)`` pair — and then produces one
+reference-stream generator per processor via :meth:`App.program`.  App
+construction involves no live machine: the context is all an app needs
+to allocate its shared data and emit its streams, which is what lets the
+record/replay engine (:mod:`repro.program.stream`,
+:mod:`repro.engine.replay`) execute an app's Python exactly once per
+workload and replay the recorded stream across a whole
+protocol × config sweep.
+
+The pre-redesign calling convention ``App(machine, ...)`` still works
+through a one-release compatibility shim (a :class:`DeprecationWarning`
+plus an adapter that wraps the machine's config and address space in a
+context); new code should pass an :class:`AppContext`, or an existing
+machine via ``AppContext.for_machine(machine)`` when the app must
+allocate directly into a live machine's address space (the legacy
+generator execution path).
 
 Conventions used by all apps:
 
@@ -18,10 +32,12 @@ Conventions used by all apps:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Type
+import warnings
+from typing import Dict, Iterator, List, Optional, Type
 
 import numpy as np
 
+from repro.program.address_space import AddressSpace, RecordingAddressSpace
 from repro.program.ops import (
     ACQUIRE,
     BARRIER,
@@ -45,17 +61,70 @@ def register(cls: Type) -> Type:
     return cls
 
 
+class AppContext:
+    """What an app builds against: a config plus an address space.
+
+    By default the space is a :class:`RecordingAddressSpace`, so any app
+    constructed from a fresh context can later be recorded into a
+    :class:`~repro.program.stream.RecordedStream` (the stream carries the
+    allocation log).  ``for_machine`` wraps a live machine's own space
+    instead — the legacy generator path, where the app allocates directly
+    into the machine it will run on.
+    """
+
+    __slots__ = ("config", "space", "machine")
+
+    def __init__(
+        self, config, space: Optional[AddressSpace] = None, machine=None
+    ) -> None:
+        self.config = config
+        self.space = space if space is not None else RecordingAddressSpace(config)
+        self.machine = machine
+
+    @classmethod
+    def for_machine(cls, machine) -> "AppContext":
+        """A context sharing a live machine's config and address space.
+
+        The machine is kept as a backref (``ctx.machine``), so
+        :func:`repro.core.api.run_app` can run the app on the machine it
+        allocated against.
+        """
+        return cls(machine.config, machine.space, machine)
+
+    @property
+    def alloc_log(self):
+        log = getattr(self.space, "alloc_log", None)
+        if log is None:
+            raise TypeError(
+                "this context wraps a non-recording address space; "
+                "apps built against it cannot be recorded"
+            )
+        return log
+
+
 class App:
     """Base class for workload generators."""
 
     name = "app"
 
-    def __init__(self, machine, seed: int = 0, **params) -> None:
-        self.machine = machine
-        self.space = machine.space
-        self.cfg = machine.config
-        self.n_procs = machine.config.n_procs
-        self.rng = np.random.default_rng(machine.config.seed + seed)
+    def __init__(self, ctx, seed: int = 0, **params) -> None:
+        if not isinstance(ctx, AppContext):
+            # One-release compatibility shim: App(machine, ...) still
+            # works, wrapped in a context over the machine's space.
+            warnings.warn(
+                f"constructing {type(self).__name__} against a Machine is "
+                "deprecated; pass an AppContext (or "
+                "AppContext.for_machine(machine)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            ctx = AppContext.for_machine(ctx)
+        self.machine = ctx.machine
+        self.ctx = ctx
+        self.space = ctx.space
+        self.cfg = ctx.config
+        self.n_procs = ctx.config.n_procs
+        self.rng = np.random.default_rng(ctx.config.seed + seed)
         self._next_lock = 0
         self._next_flag = 0
         self._next_barrier = 0

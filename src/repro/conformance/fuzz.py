@@ -87,12 +87,20 @@ def fuzz_config(n_procs: int, seed: int):
 def build_machine(
     spec: ProgramSpec, protocol: str, trace: bool = False, faults=None
 ):
-    """A fresh fuzz machine + app for one program under one protocol."""
+    """A fresh fuzz machine + context-built app for one program under one
+    protocol.
+
+    The app is built against its own recording context (not the
+    machine), so the pair can execute under either engine: replay
+    applies the app's allocation log to the pristine machine space;
+    the generator path does the same before resuming generators."""
     from repro.apps import APPS
+    from repro.apps.common import AppContext
     from repro.core.machine import Machine
 
+    cfg = fuzz_config(spec.n_procs, spec.seed)
     machine = Machine(
-        fuzz_config(spec.n_procs, spec.seed),
+        cfg,
         protocol=protocol,
         max_cycles=FUZZ_MAX_CYCLES,
         trace=trace,
@@ -100,8 +108,30 @@ def build_machine(
         value_model=True,
         faults=faults,
     )
-    app = APPS["fuzz"](machine, program=spec)
+    app = APPS["fuzz"](AppContext(cfg), program=spec)
     return machine, app
+
+
+def _execute(machine, app, spec: ProgramSpec) -> None:
+    """Run one fuzz machine under the session's engine.
+
+    Replay (the default) records each program's reference streams once —
+    keyed by program content, memoized in-process — so the four
+    protocol runs of an iteration share a single record phase."""
+    from repro.harness.spec import resolve_engine
+
+    if resolve_engine() == "replay":
+        from repro.program.stream import recorded_stream
+
+        stream = recorded_stream(
+            "fuzz", {"program": spec}, fuzz_config(spec.n_procs, spec.seed)
+        )
+        machine.replay(stream)
+    else:
+        from repro.program.address_space import apply_alloc_log
+
+        apply_alloc_log(machine.space, app.ctx.alloc_log)
+        machine.run([app.program(p) for p in range(spec.n_procs)])
 
 
 #: MessageStats counters summed into a fuzz campaign's traffic summary
@@ -221,7 +251,7 @@ def run_one(
     machine, app = build_machine(spec, protocol, trace=trace, faults=faults)
     try:
         try:
-            machine.run([app.program(p) for p in range(spec.n_procs)])
+            _execute(machine, app, spec)
         except ConformanceViolation as e:
             return ("violation", str(e), machine)
         except InvariantViolation as e:

@@ -1,6 +1,13 @@
 """Machine assembly and the public simulation API."""
 
-from repro.core.machine import Machine, RunResult
+from repro.core.machine import Machine, MachineConfig, RunResult
 from repro.core.api import build_machine, simulate, run_app
 
-__all__ = ["Machine", "RunResult", "build_machine", "simulate", "run_app"]
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "RunResult",
+    "build_machine",
+    "simulate",
+    "run_app",
+]

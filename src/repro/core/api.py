@@ -10,10 +10,27 @@ All three entry points share one signature shape —
 ``(..., protocol: str, classify: bool)`` — and one meaning for the two
 keywords: ``protocol`` names the coherence protocol the machine runs,
 ``classify`` asks for a :class:`repro.stats.classification.MissClassifier`
-to observe the run.  For :func:`build_machine` and :func:`simulate` they
-*configure* the machine being built; for :func:`run_app`, whose machine
-already exists, they are *validated* against it and a mismatch raises
-``ValueError`` instead of being silently ignored.
+to observe the run.  Machines are assembled through
+:class:`~repro.core.machine.MachineConfig` (one value object instead of
+loose ``Machine(...)`` kwargs), and apps execute through the
+record/replay engine by default — the same path
+:meth:`repro.harness.spec.ExperimentSpec.run` takes — with the legacy
+generator engine available via ``engine="generator"`` or
+``REPRO_ENGINE`` for differential testing.
+
+:func:`run_app` is the odd one out, because an app may arrive in three
+shapes:
+
+* an **app name** (``"gauss"``) — the call is literally a thin wrapper
+  over :class:`~repro.harness.spec.ExperimentSpec`: the spec is built
+  from the keyword arguments and run through the standard harness path;
+* a **context-built instance** (the redesigned API:
+  ``Gauss(AppContext(cfg), ...)``) — ``protocol`` / ``classify``
+  *configure* a fresh machine, exactly as in :func:`simulate`;
+* a **machine-bound instance** (built via ``AppContext.for_machine`` or
+  the deprecated ``App(machine, ...)`` shim) — the machine pre-exists,
+  so ``protocol`` / ``classify`` are *validated* against it and a
+  mismatch raises ``ValueError`` instead of being silently ignored.
 """
 
 from __future__ import annotations
@@ -21,7 +38,7 @@ from __future__ import annotations
 from typing import Optional, Type
 
 from repro.config import SystemConfig
-from repro.core.machine import Machine, RunResult
+from repro.core.machine import Machine, MachineConfig, RunResult
 
 
 def build_machine(
@@ -35,26 +52,73 @@ def build_machine(
     the classifier of the returned machine's :class:`RunResult` is
     populated after :meth:`Machine.run`.
     """
-    return Machine(config or SystemConfig(), protocol=protocol, classify=classify)
+    return MachineConfig(
+        config=config or SystemConfig(), protocol=protocol, classify=classify
+    ).build()
+
+
+def _run_context_app(app, mc: MachineConfig, engine: Optional[str]) -> RunResult:
+    """Run a context-built app on a fresh machine described by ``mc``."""
+    from repro.harness.spec import resolve_engine
+
+    machine = mc.build()
+    if resolve_engine(engine) == "replay":
+        from repro.program.stream import RecordedStream
+
+        return machine.replay(RecordedStream.record(app))
+    from repro.program.address_space import apply_alloc_log
+
+    apply_alloc_log(machine.space, app.ctx.alloc_log)
+    return machine.run([app.program(p) for p in range(mc.config.n_procs)])
 
 
 def run_app(
     app,
     protocol: Optional[str] = None,
     classify: Optional[bool] = None,
+    engine: Optional[str] = None,
+    **spec_fields,
 ) -> RunResult:
-    """Run an already-constructed application on the machine it was built for.
+    """Run an application: by name, by context-built instance, or on the
+    machine it was built for.
 
-    The app must expose ``machine`` (the one it allocated against) and
-    ``program(pid)``; see :class:`repro.apps.common.App`.
+    Given an app *name*, this is a thin wrapper over
+    :class:`~repro.harness.spec.ExperimentSpec` — ``spec_fields``
+    (``n_procs``, ``small``, ``overrides``, ...) go straight into the
+    spec, and the run flows through the same record/replay machinery as
+    :func:`repro.harness.experiments.run_experiment`.
 
-    Because the machine pre-exists, ``protocol`` and ``classify`` here
-    are assertions about it, not configuration: pass them to insist the
-    app's machine runs that protocol / has (or lacks) a miss classifier,
-    and a mismatch raises ``ValueError``.  Leave them ``None`` to accept
-    the machine as built.
+    Given a *context-built* instance (no live machine), ``protocol`` and
+    ``classify`` configure a fresh machine, defaulting to ``"lrc"`` /
+    ``False``.
+
+    Given a *machine-bound* instance, the machine pre-exists, so
+    ``protocol`` and ``classify`` are assertions about it, not
+    configuration: pass them to insist the app's machine runs that
+    protocol / has (or lacks) a miss classifier, and a mismatch raises
+    ``ValueError``.  Leave them ``None`` to accept the machine as built.
     """
-    machine = app.machine
+    if isinstance(app, str):
+        from repro.harness.spec import ExperimentSpec
+
+        spec = ExperimentSpec(
+            app=app,
+            protocol=protocol or "lrc",
+            classify=bool(classify),
+            **spec_fields,
+        )
+        return spec.run(engine=engine)
+    if spec_fields:
+        raise TypeError(
+            "spec fields (n_procs, small, ...) apply only when running an "
+            "app by name"
+        )
+    machine = getattr(app, "machine", None)
+    if machine is None:
+        mc = MachineConfig(
+            config=app.cfg, protocol=protocol or "lrc", classify=bool(classify)
+        )
+        return _run_context_app(app, mc, engine)
     if protocol is not None and machine.protocol_name != protocol:
         raise ValueError(
             "app was built against a machine running "
@@ -76,13 +140,20 @@ def simulate(
     config: Optional[SystemConfig] = None,
     protocol: str = "lrc",
     classify: bool = False,
+    engine: Optional[str] = None,
     **app_params,
 ) -> RunResult:
-    """One-call simulation: build machine, instantiate app, run it.
+    """One-call simulation: build app against a fresh context, run it.
 
-    ``protocol`` and ``classify`` configure the freshly built machine
-    (see :func:`build_machine`); ``app_params`` go to ``app_cls``.
+    ``protocol`` and ``classify`` configure the machine
+    (see :func:`build_machine`); ``app_params`` go to ``app_cls``.  The
+    run uses the record/replay engine unless ``engine="generator"`` (or
+    ``REPRO_ENGINE``) selects the legacy generator path.
     """
-    machine = build_machine(config, protocol, classify)
-    app = app_cls(machine, **app_params)
-    return machine.run([app.program(p) for p in range(machine.config.n_procs)])
+    from repro.apps.common import AppContext
+
+    cfg = config or SystemConfig()
+    app = app_cls(AppContext(cfg), **app_params)
+    return _run_context_app(
+        app, MachineConfig(config=cfg, protocol=protocol, classify=classify), engine
+    )

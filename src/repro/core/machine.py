@@ -11,7 +11,7 @@ Typical use::
 from __future__ import annotations
 
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Iterator, List, Optional, Sequence
 
 from repro.config import SystemConfig
@@ -82,6 +82,41 @@ class RunResult:
                 else None
             ),
         )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete, declarative machine description.
+
+    Consolidates the loose keyword arguments :class:`Machine` grew over
+    time — one value object names every knob, can be compared, copied
+    with :func:`dataclasses.replace`, and built from (:meth:`build`).
+    The harness (:class:`repro.harness.spec.ExperimentSpec`) and the
+    public API (:func:`repro.core.api.run_app`) both construct machines
+    through this type rather than spelling kwargs at each call site.
+    """
+
+    config: SystemConfig = field(default_factory=SystemConfig)
+    protocol: str = "lrc"
+    classify: bool = False
+    max_cycles: int = 1 << 62
+    trace: bool = False
+    check_invariants: bool = False
+    trace_capacity: int = 1 << 16
+    check_level: str = "sync"
+    value_model: bool = False
+    faults: Optional[object] = None
+    stall_cycles: Optional[int] = None
+
+    def build(self) -> "Machine":
+        """Assemble a fresh :class:`Machine` from this description."""
+        kwargs = {f.name: getattr(self, f.name) for f in fields(self)}
+        cfg = kwargs.pop("config")
+        return Machine(cfg, **kwargs)
+
+    def with_(self, **changes) -> "MachineConfig":
+        """A copy with ``changes`` applied (thin ``dataclasses.replace``)."""
+        return replace(self, **changes)
 
 
 class Machine:
@@ -193,6 +228,45 @@ class Machine:
         for node, gen in zip(self.nodes, programs):
             node.proc.set_program(gen)
             node.proc.start()
+        return self._complete()
+
+    def replay(self, stream) -> RunResult:
+        """Run a :class:`~repro.program.stream.RecordedStream` to completion.
+
+        The replay driver feeds the protocols from the stream's packed
+        arrays (see :mod:`repro.engine.replay`); no application Python
+        executes.  The stream's allocation log reproduces the address
+        space, so directory homes and segment bases are identical to the
+        generator path's.
+        """
+        from repro.engine.replay import install_replay
+        from repro.program.address_space import apply_alloc_log
+        from repro.program.stream import STREAM_CONFIG_FIELDS
+
+        if self._ran:
+            raise RuntimeError("a Machine instance runs exactly one workload")
+        self._ran = True
+        bad = [
+            (f, stream.meta[f], getattr(self.config, f))
+            for f in STREAM_CONFIG_FIELDS
+            if stream.meta.get(f) != getattr(self.config, f)
+        ]
+        if bad:
+            detail = ", ".join(
+                f"{f}: stream={sv!r} machine={mv!r}" for f, sv, mv in bad
+            )
+            raise ValueError(f"stream does not fit this machine ({detail})")
+        if self.space.segments:
+            raise RuntimeError(
+                "replay needs a pristine address space; this machine "
+                "already has allocations"
+            )
+        apply_alloc_log(self.space, stream.alloc_log)
+        install_replay(self, stream)
+        return self._complete()
+
+    def _complete(self) -> RunResult:
+        """Shared run tail: watchdog, event loop, deadlock check, result."""
         if self.stall_cycles:
             from repro.faults.watchdog import StallWatchdog
 

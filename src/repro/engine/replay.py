@@ -1,0 +1,535 @@
+"""The replay half of the record/replay engine.
+
+A :class:`~repro.program.stream.RecordedStream` is compiled — once per
+stream, cached on the stream object — into per-processor *micro-programs*:
+flat Python lists in which
+
+* scalar ops keep their legacy tuple forms (the run loop's dispatch for
+  them is unchanged), and
+* every run op is decomposed into **block spans**: maximal runs of
+  consecutive elements that fall in one cache block, pre-tagged with the
+  block number and (for write/rw spans) the tuple of word indices the
+  elements touch.
+
+The :class:`ReplayProcessor` drives a machine from a micro-program with
+a slot-based cursor (plain integer index into the list; no generator
+frames, no per-op allocation).  Its fast path retires a whole span with
+a handful of Python operations — one tag compare, one bulk stats/time
+update, one ``set.update`` for coalescing-buffer words — instead of the
+per-reference loop, which is where the engine's order-of-magnitude
+speedup on run-op-dense apps comes from.
+
+Bit-identity contract: every batched span is *provably* equivalent to
+the per-element legacy loop, because no simulator event can run between
+the elements of a span (the CPU loop is synchronous within a quantum)
+and the batch formulas reproduce the legacy per-element time/stat
+arithmetic exactly, including quantum-deadline splits.  Any condition
+the fast path does not cover — a miss, a cold coalescing-buffer entry, a
+write-buffer stall, an attached miss classifier or value model — is
+*demoted*: the span re-enters the dispatch loop as a legacy run-op tuple
+and takes the exact code path the generator engine takes.  The
+differential suite (``tests/test_replay.py``) and the golden fixtures
+hold the two engines to bit-identical :class:`RunResult`\\ s.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.processor import B_READ, B_SYNC, B_WB, Processor
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    FENCE,
+    READ,
+    READ_RUN,
+    RELEASE,
+    RW_RESUME,
+    RW_RUN,
+    SET_FLAG,
+    WAIT_FLAG,
+    WRITE,
+    WRITE_RUN,
+)
+
+#: Micro-op opcodes for block spans (disjoint from the program opcodes).
+READ_SPAN = 32
+WRITE_SPAN = 33
+RW_SPAN = 34
+
+_RUN_KINDS = (READ_RUN, WRITE_RUN, RW_RUN)
+
+def compile_stream(stream) -> List[list]:
+    """Per-proc micro-programs for ``stream``, compiled once and cached.
+
+    Span decomposition depends only on the stream's own geometry
+    (``line_size`` / ``word_size`` are part of the stream's identity), so
+    the compiled form is valid for every machine the stream may legally
+    replay on, whatever its cache size or timing parameters.
+    """
+    if stream._compiled is not None:
+        return stream._compiled
+    line_size = stream.meta["line_size"]
+    lsh = line_size.bit_length() - 1
+    wmask = (line_size // stream.meta["word_size"]) - 1
+    programs: List[list] = []
+    for pid in range(stream.n_procs):
+        sl = stream.proc_slice(pid)
+        out: list = []
+        push = out.append
+        for kind, x, y, z in zip(
+            stream.op[sl].tolist(),
+            stream.a[sl].tolist(),
+            stream.b[sl].tolist(),
+            stream.c[sl].tolist(),
+        ):
+            if kind in _RUN_KINDS:
+                base, count, stride = x, y, z
+                j = 0
+                addr = base
+                while j < count:
+                    block = addr >> lsh
+                    k = 1
+                    nxt = addr + stride
+                    while j + k < count and (nxt >> lsh) == block:
+                        k += 1
+                        nxt += stride
+                    if kind == READ_RUN:
+                        push((READ_SPAN, block, addr, k, stride))
+                    else:
+                        words = tuple(
+                            ((addr + m * stride) >> 3) & wmask for m in range(k)
+                        )
+                        push((
+                            WRITE_SPAN if kind == WRITE_RUN else RW_SPAN,
+                            block, addr, k, stride, words,
+                        ))
+                    j += k
+                    addr = nxt
+            elif kind == FENCE:
+                push((FENCE,))
+            else:
+                push((kind, x))
+        programs.append(out)
+    stream._compiled = programs
+    return programs
+
+
+class ReplayProcessor(Processor):
+    """Drives one node from a compiled micro-program.
+
+    The cursor is a plain index (``_i``) into the micro-program list —
+    slot-based and allocation-free; blocking continuations reuse the
+    legacy pending-tuple forms, so the protocol-facing surface
+    (:meth:`block`, :meth:`unblock`, :meth:`complete_pending_write`) is
+    byte-for-byte the legacy one.
+    """
+
+    __slots__ = ("_mops", "_i", "_n")
+
+    def __init__(self, node, machine) -> None:
+        super().__init__(node, machine)
+        self._mops: list = []
+        self._i = 0
+        self._n = 0
+
+    def set_micro_program(self, mops: list) -> None:
+        self._mops = mops
+        self._i = 0
+        self._n = len(mops)
+        if self.node.cbuf is not None:
+            self._wt_words = self.node.cbuf.words
+
+    def set_program(self, gen) -> None:  # pragma: no cover - guard
+        raise RuntimeError(
+            "ReplayProcessor consumes micro-programs; use set_micro_program()"
+        )
+
+    # The dispatch loop mirrors Processor.run_quantum exactly, with two
+    # changes: ops come from the micro-program cursor instead of a
+    # generator, and the three span opcodes get batched fast paths that
+    # demote to the legacy run-op branches whenever anything interesting
+    # (miss, stall, observer) happens.
+    def run_quantum(self) -> None:
+        sim = self.sim
+        t = sim.now
+        deadline = t + self._quantum
+        node = self.node
+        cache = node.cache
+        tags = cache.tags
+        states = cache.states
+        mask = cache.set_mask
+        lsh = self._line_shift
+        wmask = self._word_mask
+        stats = self.stats
+        prot = self.protocol
+        wb = node.wb
+        wb_words = wb.words if wb is not None else None
+        obs = self.machine.classifier
+        vm = self.machine.valmodel
+        my_id = self.id
+        mops = self._mops
+        i = self._i
+        n = self._n
+        plain = vm is None and obs is None
+
+        pend = self._pending
+        self._pending = None
+
+        while True:
+            if pend is not None:
+                op = pend
+                pend = None
+            elif i < n:
+                op = mops[i]
+                i += 1
+                self._i = i
+            else:
+                self._finish(t)
+                return
+            kind = op[0]
+
+            # -- span fast paths ------------------------------------------------
+            if kind == READ_SPAN:
+                _, block, base, count, stride = op
+                s = block & mask
+                if vm is None and (
+                    (tags[s] == block and states[s])
+                    or (wb_words is not None and block in wb_words)
+                ):
+                    left = deadline - t
+                    if count <= left:
+                        stats.reads += count
+                        t += count
+                    else:
+                        stats.reads += left
+                        t += left
+                        self._pending = (READ_RUN, base, count, stride, left)
+                        sim.at(t, self.run_quantum)
+                        return
+                else:
+                    pend = (READ_RUN, base, count, stride)
+                    continue
+
+            elif kind == WRITE_SPAN:
+                _, block, base, count, stride, words = op
+                s = block & mask
+                if plain and tags[s] == block and states[s] == 2:
+                    wt = self._wt_words
+                    ws = wt.get(block) if wt is not None else None
+                    if wt is not None and ws is None:
+                        # Cold coalescing-buffer entry: retire the first
+                        # write through the protocol exactly as the legacy
+                        # loop does (cpu_write never stalls in state 2),
+                        # then re-check the preconditions for the tail.
+                        t = prot.cpu_write(node, t, block, words[0])
+                        stats.writes += 1
+                        if count > 1:
+                            if t >= deadline:
+                                self._pending = (WRITE_RUN, base, count, stride, 1)
+                                sim.at(t, self.run_quantum)
+                                return
+                            ws = wt.get(block)
+                            if ws is None or tags[s] != block or states[s] != 2:
+                                pend = (WRITE_RUN, base, count, stride, 1)
+                                continue
+                            m = count - 1
+                            left = deadline - t
+                            if m <= left:
+                                ws.update(words[1:])
+                                stats.writes += m
+                                t += m
+                            else:
+                                ws.update(words[1 : 1 + left])
+                                stats.writes += left
+                                t += left
+                                self._pending = (
+                                    WRITE_RUN, base, count, stride, 1 + left,
+                                )
+                                sim.at(t, self.run_quantum)
+                                return
+                    elif count <= (left := deadline - t):
+                        if ws is not None:
+                            ws.update(words)
+                        stats.writes += count
+                        t += count
+                    else:
+                        if ws is not None:
+                            ws.update(words[:left])
+                        stats.writes += left
+                        t += left
+                        self._pending = (WRITE_RUN, base, count, stride, left)
+                        sim.at(t, self.run_quantum)
+                        return
+                else:
+                    pend = (WRITE_RUN, base, count, stride)
+                    continue
+
+            elif kind == RW_SPAN:
+                _, block, base, count, stride, words = op
+                s = block & mask
+                if plain and tags[s] == block and states[s] == 2:
+                    wt = self._wt_words
+                    ws = wt.get(block) if wt is not None else None
+                    if wt is not None and ws is None:
+                        # Cold coalescing-buffer entry: element 0 is a
+                        # read hit (state 2) plus a protocol write that
+                        # starts the entry, exactly as the legacy loop
+                        # does; then re-check and batch the tail.
+                        stats.reads += 1
+                        t += 1
+                        t = prot.cpu_write(node, t, block, words[0])
+                        stats.writes += 1
+                        if count > 1:
+                            if t >= deadline:
+                                self._pending = (RW_RUN, base, count, stride, 1)
+                                sim.at(t, self.run_quantum)
+                                return
+                            ws = wt.get(block)
+                            if ws is None or tags[s] != block or states[s] != 2:
+                                pend = (RW_RUN, base, count, stride, 1)
+                                continue
+                            m = count - 1
+                            k = (deadline - t + 1) >> 1
+                            if m <= k:
+                                ws.update(words[1:])
+                                stats.reads += m
+                                stats.writes += m
+                                t += 2 * m
+                            else:
+                                ws.update(words[1 : 1 + k])
+                                stats.reads += k
+                                stats.writes += k
+                                t += 2 * k
+                                self._pending = (RW_RUN, base, count, stride, 1 + k)
+                                sim.at(t, self.run_quantum)
+                                return
+                    elif count <= (k := (deadline - t + 1) >> 1):
+                        if ws is not None:
+                            ws.update(words)
+                        stats.reads += count
+                        stats.writes += count
+                        t += 2 * count
+                    else:
+                        if ws is not None:
+                            ws.update(words[:k])
+                        stats.reads += k
+                        stats.writes += k
+                        t += 2 * k
+                        self._pending = (RW_RUN, base, count, stride, k)
+                        sim.at(t, self.run_quantum)
+                        return
+                else:
+                    pend = (RW_RUN, base, count, stride)
+                    continue
+
+            # -- legacy branches (identical to Processor.run_quantum) -----------
+            elif kind == READ:
+                addr = op[1]
+                block = addr >> lsh
+                s = block & mask
+                stats.reads += 1
+                if tags[s] == block and states[s]:
+                    t += 1
+                    if vm is not None:
+                        vm.read_hit(my_id, block, (addr >> 3) & wmask)
+                elif wb_words is not None and block in wb_words:
+                    t += 1  # read bypasses / forwards from the write buffer
+                    if vm is not None:
+                        vm.read_wb(my_id, block, (addr >> 3) & wmask)
+                else:
+                    stats.read_misses += 1
+                    word = (addr >> 3) & wmask
+                    if obs is not None:
+                        obs.classify_miss(my_id, block, word)
+                    if vm is not None:
+                        vm.read_miss(my_id, block, word)
+                    self.block(t, B_READ)
+                    prot.cpu_read_miss(node, t, block)
+                    return
+
+            elif kind == WRITE:
+                addr = op[1]
+                block = addr >> lsh
+                s = block & mask
+                word = (addr >> 3) & wmask
+                if obs is not None:
+                    obs.record_write(my_id, block, word)
+                if tags[s] == block and states[s] == 2:
+                    wt = self._wt_words
+                    if wt is None:
+                        stats.writes += 1
+                        t += 1
+                    else:
+                        ws = wt.get(block)
+                        if ws is not None:
+                            ws.add(word)
+                            stats.writes += 1
+                            t += 1
+                        else:
+                            t = prot.cpu_write(node, t, block, word)
+                            stats.writes += 1
+                    if vm is not None:
+                        vm.write(my_id, block, word)
+                else:
+                    nt = prot.cpu_write(node, t, block, word)
+                    if nt < 0:
+                        self._pending = op
+                        self.block(t, B_WB)
+                        return
+                    stats.writes += 1
+                    t = nt
+                    if vm is not None:
+                        vm.write(my_id, block, word)
+
+            elif kind == READ_RUN or kind == WRITE_RUN or kind == RW_RUN or kind == RW_RESUME:
+                if len(op) == 5:
+                    _, base, count, stride, j = op
+                else:
+                    _, base, count, stride = op
+                    j = 0
+                skip_read_once = kind == RW_RESUME
+                if skip_read_once:
+                    kind = RW_RUN
+                is_read = kind == READ_RUN
+                is_rw = kind == RW_RUN
+                addr = base + j * stride
+                while j < count:
+                    block = addr >> lsh
+                    s = block & mask
+                    word = (addr >> 3) & wmask
+                    if (is_read or is_rw) and not skip_read_once:
+                        stats.reads += 1
+                        if tags[s] == block and states[s]:
+                            t += 1
+                            if vm is not None:
+                                vm.read_hit(my_id, block, word)
+                        elif wb_words is not None and block in wb_words:
+                            t += 1
+                            if vm is not None:
+                                vm.read_wb(my_id, block, word)
+                        else:
+                            stats.read_misses += 1
+                            if obs is not None:
+                                obs.classify_miss(my_id, block, word)
+                            if vm is not None:
+                                vm.read_miss(my_id, block, word)
+                            if is_rw:
+                                self._pending = (RW_RESUME, base, count, stride, j)
+                            else:
+                                self._pending = (kind, base, count, stride, j + 1)
+                            self.block(t, B_READ)
+                            prot.cpu_read_miss(node, t, block)
+                            return
+                    skip_read_once = False
+                    if not is_read:
+                        if obs is not None:
+                            obs.record_write(my_id, block, word)
+                        if tags[s] == block and states[s] == 2:
+                            wt = self._wt_words
+                            if wt is None:
+                                stats.writes += 1
+                                t += 1
+                            else:
+                                ws = wt.get(block)
+                                if ws is not None:
+                                    ws.add(word)
+                                    stats.writes += 1
+                                    t += 1
+                                else:
+                                    t = prot.cpu_write(node, t, block, word)
+                                    stats.writes += 1
+                            if vm is not None:
+                                vm.write(my_id, block, word)
+                        else:
+                            nt = prot.cpu_write(node, t, block, word)
+                            if nt < 0:
+                                self._pending = (
+                                    (RW_RESUME if is_rw else kind),
+                                    base,
+                                    count,
+                                    stride,
+                                    j,
+                                )
+                                self.block(t, B_WB)
+                                return
+                            stats.writes += 1
+                            t = nt
+                            if vm is not None:
+                                vm.write(my_id, block, word)
+                    j += 1
+                    addr += stride
+                    if t >= deadline and j < count:
+                        self._pending = (kind, base, count, stride, j)
+                        sim.at(t, self.run_quantum)
+                        return
+
+            elif kind == COMPUTE:
+                c = op[1]
+                if t + c <= deadline:
+                    t += c
+                else:
+                    done_now = deadline - t
+                    self._pending = (COMPUTE, c - done_now)
+                    sim.at(deadline, self.run_quantum)
+                    return
+
+            elif kind == ACQUIRE:
+                stats.acquires += 1
+                self.block(t, B_SYNC)
+                prot.cpu_acquire(node, t, op[1])
+                return
+
+            elif kind == RELEASE:
+                stats.releases += 1
+                self.block(t, B_SYNC)
+                prot.cpu_release(node, t, op[1])
+                return
+
+            elif kind == BARRIER:
+                stats.barriers += 1
+                self.block(t, B_SYNC)
+                prot.cpu_barrier(node, t, op[1])
+                return
+
+            elif kind == FENCE:
+                self.block(t, B_SYNC)
+                prot.cpu_fence(node, t)
+                return
+
+            elif kind == SET_FLAG:
+                stats.releases += 1
+                self.block(t, B_SYNC)
+                prot.cpu_set_flag(node, t, op[1])
+                return
+
+            elif kind == WAIT_FLAG:
+                stats.acquires += 1
+                self.block(t, B_SYNC)
+                prot.cpu_wait_flag(node, t, op[1])
+                return
+
+            else:
+                raise ValueError(f"unknown opcode {kind!r}")
+
+            if t >= deadline:
+                self._pending = None
+                sim.at(t, self.run_quantum)
+                return
+
+
+def install_replay(machine, stream) -> None:
+    """Swap every node's CPU for a :class:`ReplayProcessor` fed from
+    ``stream`` and start them at cycle 0."""
+    programs = compile_stream(stream)
+    tracer = machine.tracer
+    for node, mops in zip(machine.nodes, programs):
+        proc = ReplayProcessor(node, machine)
+        node.proc = proc
+        proc.set_micro_program(mops)
+        proc.start()
+    # (tracer/checker hold node references, not processor ones, so the
+    # swap is invisible to observability — asserted by the checked ==
+    # unchecked replay sweeps.)
+    del tracer

@@ -65,12 +65,16 @@ def clear_cache() -> None:
     _MEMO.clear()
 
 
-def run_spec(spec: ExperimentSpec, store=_UNSET) -> RunResult:
+def run_spec(spec: ExperimentSpec, store=_UNSET, engine: Optional[str] = None) -> RunResult:
     """Run (or fetch from memo / store) one experiment spec.
 
     ``store`` defaults to the process-wide store (active only when
     ``REPRO_RESULTS_DIR`` is set); pass ``None`` to force disk off or a
     :class:`ResultStore` to use a specific directory.
+
+    ``engine`` selects the execution engine (``"replay"`` /
+    ``"generator"``, see :data:`repro.harness.spec.ENGINES`); it never
+    affects the numbers, so memo and store entries are engine-agnostic.
     """
     hit = _MEMO.get(spec)
     if hit is not None:
@@ -79,7 +83,7 @@ def run_spec(spec: ExperimentSpec, store=_UNSET) -> RunResult:
         store = default_store()
     result = store.load(spec) if store is not None else None
     if result is None:
-        result = spec.run()
+        result = spec.run(engine=engine)
         if store is not None:
             store.save(spec, result)
     _MEMO[spec] = result
@@ -94,6 +98,7 @@ def run_experiment(
     classify: bool = False,
     small: bool = False,
     check_invariants: bool = False,
+    engine: Optional[str] = None,
     **config_over,
 ) -> RunResult:
     """Back-compat wrapper: build an :class:`ExperimentSpec` and run it.
@@ -111,7 +116,7 @@ def run_experiment(
         overrides=config_over,
         check_invariants=check_invariants,
     )
-    return run_spec(spec)
+    return run_spec(spec, engine=engine)
 
 
 def prefetch(

@@ -28,6 +28,31 @@ SPEC_VERSION = 1
 
 MACHINE_KINDS = ("default", "future")
 
+#: Execution engines a spec can run under.  ``"replay"`` (the default)
+#: records the app's reference streams once — content-addressed and
+#: cached in the result store — and drives the protocols from packed
+#: arrays; ``"generator"`` resumes the app's Python generators per
+#: reference, kept for differential testing.  Both produce bit-identical
+#: :class:`RunResult` numbers (held to by ``tests/test_replay.py``), so
+#: the engine choice is *transient*: it is not a spec field and never
+#: enters the fingerprint.  ``REPRO_ENGINE`` in the environment selects
+#: the process-wide default.
+ENGINES = ("replay", "generator")
+ENV_ENGINE = "REPRO_ENGINE"
+
+
+def resolve_engine(engine=None) -> str:
+    """The engine to use: explicit argument, else ``REPRO_ENGINE``, else
+    ``"replay"``."""
+    import os
+
+    engine = engine or os.environ.get(ENV_ENGINE) or "replay"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {ENGINES})"
+        )
+    return engine
+
 
 @dataclass(frozen=True)
 class ExperimentSpec:
@@ -177,18 +202,13 @@ class ExperimentSpec:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self):
-        """Execute this spec on a fresh machine (no caching).
-
-        Pure: equal specs produce bit-identical :class:`RunResult`
-        numbers (the invariant checker, when enabled, only observes).
-        Callers wanting memoization go through
-        :func:`repro.harness.experiments.run_spec`.
-        """
+    def machine_config(self):
+        """The :class:`~repro.core.machine.MachineConfig` this spec
+        describes, with the observation-only environment toggles
+        (``REPRO_CHECK_INVARIANTS``, ``REPRO_VALUE_CHECK``) resolved."""
         import os
 
-        from repro.apps import APPS
-        from repro.core.machine import Machine
+        from repro.core.machine import MachineConfig
 
         check = self.check_invariants or os.environ.get(
             "REPRO_CHECK_INVARIANTS", ""
@@ -200,18 +220,72 @@ class ExperimentSpec:
         value_check = self.app == "fuzz" and os.environ.get(
             "REPRO_VALUE_CHECK", ""
         ) not in ("", "0")
-        cfg = self.config()
-        machine = Machine(
-            cfg,
+        return MachineConfig(
+            config=self.config(),
             protocol=self.protocol,
             classify=self.classify,
             check_invariants=check,
             value_model=value_check,
             faults=self.faults,
         )
-        app = APPS[self.app](machine, **self.app_params())
-        result = machine.run([app.program(p) for p in range(cfg.n_procs)])
-        if value_check:
+
+    def stream_key(self) -> str:
+        """Request key of the recorded stream this spec replays.
+
+        Specs differing only in protocol, timing overrides, faults, or
+        observation flags share one key — one recording serves the whole
+        sweep (see :mod:`repro.program.stream`)."""
+        from repro.program.stream import stream_key
+
+        return stream_key(self.app, self.app_params(), self.config())
+
+    def recorded_stream(self, store=None):
+        """This spec's recorded reference streams (recording at most
+        once per process; ``store`` adds the on-disk tier)."""
+        from repro.program.stream import recorded_stream
+
+        return recorded_stream(
+            self.app, self.app_params(), self.config(), store=store
+        )
+
+    def run(self, engine: Optional[str] = None):
+        """Execute this spec on a fresh machine (no result caching).
+
+        Pure: equal specs produce bit-identical :class:`RunResult`
+        numbers under either engine (the invariant checker and value
+        model, when enabled, only observe; the replay engine is held
+        bit-identical to the generator engine by the differential
+        suite).  Callers wanting memoization go through
+        :func:`repro.harness.experiments.run_spec`.
+        """
+        engine = resolve_engine(engine)
+        mc = self.machine_config()
+        machine = mc.build()
+        if engine == "replay":
+            from repro.results.store import default_store
+
+            stream = self.recorded_stream(store=default_store())
+            result = machine.replay(stream)
+            if mc.value_model:
+                from repro.apps import APPS
+                from repro.apps.common import AppContext
+                from repro.conformance.fuzz import verify_run
+
+                app = APPS[self.app](
+                    AppContext(mc.config), **self.app_params()
+                )
+                verify_run(machine, app)
+            return result
+        from repro.apps import APPS
+        from repro.apps.common import AppContext
+
+        app = APPS[self.app](
+            AppContext.for_machine(machine), **self.app_params()
+        )
+        result = machine.run(
+            [app.program(p) for p in range(mc.config.n_procs)]
+        )
+        if mc.value_model:
             from repro.conformance.fuzz import verify_run
 
             verify_run(machine, app)

@@ -134,3 +134,38 @@ class AddressSpace:
     @property
     def bytes_allocated(self) -> int:
         return self._next - self.page_size
+
+
+class RecordingAddressSpace(AddressSpace):
+    """An address space that logs every allocation it hands out.
+
+    The log — ``(nbytes, name, home, elem_size)`` per :meth:`alloc` call,
+    in order — is the piece of app construction a
+    :class:`~repro.program.stream.RecordedStream` must carry so a replay
+    machine can reproduce identical segment bases *and* page-home
+    assignments without re-running any application Python.  Allocation is
+    deterministic (bump pointer + policy), so replaying the log against a
+    fresh :class:`AddressSpace` built from an equivalent config yields a
+    bit-identical ``page_home`` map.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        self.alloc_log: List[tuple] = []
+
+    def alloc(
+        self,
+        nbytes: int,
+        name: str = "",
+        home: Union[str, int] = "striped",
+        elem_size: int = 8,
+    ) -> Segment:
+        seg = super().alloc(nbytes, name, home, elem_size)
+        self.alloc_log.append((nbytes, seg.name, home, elem_size))
+        return seg
+
+
+def apply_alloc_log(space: AddressSpace, alloc_log) -> None:
+    """Replay a recorded allocation log into ``space``."""
+    for nbytes, name, home, elem_size in alloc_log:
+        space.alloc(nbytes, name, home, elem_size)

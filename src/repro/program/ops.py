@@ -40,6 +40,24 @@ RELEASE = 7
 BARRIER = 8
 FENCE = 9
 
+#: Scalar opcodes an application may yield, mapped to tuple arity
+#: (opcode included).  ``RW_RESUME`` is deliberately absent: it is an
+#: internal continuation form, never part of a recordable stream.
+SCALAR_ARITY = {
+    READ: 2,
+    WRITE: 2,
+    COMPUTE: 2,
+    ACQUIRE: 2,
+    RELEASE: 2,
+    BARRIER: 2,
+    FENCE: 1,
+    SET_FLAG: 2,
+    WAIT_FLAG: 2,
+}
+
+#: Run opcodes: ``(kind, base, count, stride)``.
+RUN_OPS = (READ_RUN, WRITE_RUN, RW_RUN)
+
 _NAMES = {
     READ: "READ",
     WRITE: "WRITE",

@@ -7,6 +7,10 @@ Layout (``.repro-results/`` by default)::
         <fingerprint>.fail.json  structured RunFailure for a crashed /
                                  stalled / timed-out run (superseded by
                                  a later successful result)
+        <stream-key>.stream.npz  one recorded reference stream per
+                                 (app, params, stream-config) — the
+                                 record phase's output, reused by every
+                                 replay that shares the key
 
 Each file holds a schema-versioned envelope::
 
@@ -234,6 +238,46 @@ class ResultStore:
                 continue
         return out
 
+    # -- recorded streams ------------------------------------------------------
+
+    def stream_path_for(self, key: str) -> Path:
+        return self.root / f"{key}.stream.npz"
+
+    def save_stream(self, key: str, stream) -> Path:
+        """Atomically persist one recorded stream under its request key."""
+        final = self.stream_path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=key, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(stream.to_bytes())
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return final
+
+    def load_stream(self, key: str):
+        """The stored stream for ``key``, or None on any miss.
+
+        Same tolerance as :meth:`load`: absent, wrong-version, corrupt,
+        or fingerprint-mismatched blobs read as None, never as errors —
+        the record phase simply runs again.
+        """
+        from repro.program.stream import RecordedStream
+
+        try:
+            blob = self.stream_path_for(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            return RecordedStream.from_bytes(blob)
+        except Exception:
+            return None
+
     # -- maintenance ----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -247,13 +291,14 @@ class ResultStore:
         )
 
     def clear(self) -> int:
-        """Delete every stored entry (results and failure records);
-        returns how many files were removed."""
+        """Delete every stored entry (results, failure records, and
+        recorded streams); returns how many files were removed."""
         n = 0
         if self.root.is_dir():
-            for p in self.root.glob("*.json"):
-                p.unlink()
-                n += 1
+            for pattern in ("*.json", "*.stream.npz"):
+                for p in self.root.glob(pattern):
+                    p.unlink()
+                    n += 1
         return n
 
 

@@ -5,7 +5,7 @@ app's pre-built machine."""
 import pytest
 
 from repro import SystemConfig, build_machine, run_app, simulate
-from repro.apps import Gauss
+from repro.apps import AppContext, Gauss
 
 
 def cfg(n=2):
@@ -22,31 +22,31 @@ class TestBuildMachine:
 
 class TestRunApp:
     def test_runs_on_the_apps_machine(self):
-        app = Gauss(build_machine(cfg(), protocol="lrc"), n=8)
+        app = Gauss(AppContext.for_machine(build_machine(cfg(), protocol="lrc")), n=8)
         r = run_app(app)
         assert r.exec_time > 0 and r.protocol == "lrc"
 
     def test_protocol_assertion_matches(self):
-        app = Gauss(build_machine(cfg(), protocol="erc"), n=8)
+        app = Gauss(AppContext.for_machine(build_machine(cfg(), protocol="erc")), n=8)
         assert run_app(app, protocol="erc").protocol == "erc"
 
     def test_protocol_mismatch_raises(self):
-        app = Gauss(build_machine(cfg(), protocol="erc"), n=8)
+        app = Gauss(AppContext.for_machine(build_machine(cfg(), protocol="erc")), n=8)
         with pytest.raises(ValueError, match="'erc', not 'lrc'"):
             run_app(app, protocol="lrc")
 
     def test_classify_true_without_classifier_raises(self):
-        app = Gauss(build_machine(cfg(), protocol="lrc"), n=8)
+        app = Gauss(AppContext.for_machine(build_machine(cfg(), protocol="lrc")), n=8)
         with pytest.raises(ValueError, match="classify"):
             run_app(app, classify=True)
 
     def test_classify_false_with_classifier_raises(self):
-        app = Gauss(build_machine(cfg(), protocol="lrc", classify=True), n=8)
+        app = Gauss(AppContext.for_machine(build_machine(cfg(), protocol="lrc", classify=True)), n=8)
         with pytest.raises(ValueError, match="classify"):
             run_app(app, classify=False)
 
     def test_classify_assertion_propagates(self):
-        app = Gauss(build_machine(cfg(), protocol="lrc", classify=True), n=8)
+        app = Gauss(AppContext.for_machine(build_machine(cfg(), protocol="lrc", classify=True)), n=8)
         r = run_app(app, classify=True)
         assert r.classifier is not None
         assert r.classifier.total > 0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Machine, SystemConfig
-from repro.apps import APPS, BarnesHut, BlockedLU, Cholesky, FFT, Gauss, LocusRoute, MP3D
+from repro.apps import APPS, AppContext, BarnesHut, BlockedLU, Cholesky, FFT, Gauss, LocusRoute, MP3D
 from repro.apps.barnes import _Quadtree
 from repro.apps.mp3d_quality import quality_divergence, run_quality_model
 
@@ -25,10 +25,16 @@ def machine(n=4, proto="lrc", **kw):
     return Machine(SystemConfig.scaled(n_procs=n, **kw), protocol=proto, max_cycles=10**9)
 
 
+def ctx(n=4, **kw):
+    """A machine-free app context (structure-only tests)."""
+    kw.setdefault("cache_size", 4096)
+    return AppContext(SystemConfig.scaled(n_procs=n, **kw))
+
+
 def run_app(name, n=4, proto="lrc", **params):
     m = machine(n, proto)
     p = dict(TINY[name]); p.update(params)
-    app = APPS[name](m, **p)
+    app = APPS[name](AppContext.for_machine(m), **p)
     return m.run([app.program(i) for i in range(n)]), m
 
 
@@ -68,18 +74,18 @@ class TestGauss:
     def test_reference_volume_scales_as_n_cubed(self):
         small, _ = run_app("gauss", n=2, proto="lrc")
         big_m = machine(2)
-        app = Gauss(big_m, n=48)
+        app = Gauss(AppContext.for_machine(big_m), n=48)
         big = big_m.run([app.program(i) for i in range(2)])
         ratio = big.stats.references / small.stats.references
         assert 6 < ratio < 11  # (48/24)^3 = 8
 
     def test_rows_are_line_aligned(self):
-        m = machine(2)
+        m = ctx(2)
         app = Gauss(m, n=24)
         assert app.row_bytes % m.config.line_size == 0
 
     def test_every_row_flag_set_exactly_once(self):
-        m = machine(4)
+        m = ctx(4)
         app = Gauss(m, n=24)
         from repro.program.ops import SET_FLAG
         sets = []
@@ -91,11 +97,11 @@ class TestGauss:
 class TestFFT:
     def test_rejects_non_power_of_two(self):
         with pytest.raises(ValueError):
-            FFT(machine(2), m=100)
+            FFT(ctx(2), m=100)
 
     def test_butterfly_coverage(self):
         """Across all processors, every element is rewritten each phase."""
-        m = machine(4)
+        m = ctx(4)
         app = FFT(m, m=256)
         from repro.program.ops import RW_RUN, BARRIER
         writes_per_phase = [0]
@@ -116,16 +122,16 @@ class TestFFT:
 class TestBlockedLU:
     def test_block_must_divide_n(self):
         with pytest.raises(ValueError):
-            BlockedLU(machine(2), n=25, block=8)
+            BlockedLU(ctx(2), n=25, block=8)
 
     def test_block_misalignment_creates_false_sharing_potential(self):
-        m = machine(4)
+        m = ctx(4)
         app = BlockedLU(m, n=24, block=12)
         # 12 doubles = 96 bytes: not a multiple of the 128-byte line.
         assert (app.b * 8) % m.config.line_size != 0
 
     def test_ownership_covers_all_blocks(self):
-        m = machine(4)
+        m = ctx(4)
         app = BlockedLU(m, n=24, block=8)
         owners = {app.owner(i, j) for i in range(3) for j in range(3)}
         assert owners <= set(range(4))
@@ -161,7 +167,7 @@ class TestBarnes:
         assert 5 not in bodies
 
     def test_trees_differ_across_steps(self):
-        m = machine(2)
+        m = ctx(2)
         app = BarnesHut(m, bodies=48, steps=2)
         assert len(app.trees) == 2
         # positions drifted: traversals differ for some body
@@ -172,26 +178,26 @@ class TestBarnes:
 
 class TestCholesky:
     def test_dependencies_point_backward(self):
-        m = machine(4)
+        m = ctx(4)
         app = Cholesky(m, ncols=40)
         for j, deps in enumerate(app.deps):
             assert all(d < j for d in deps)
 
     def test_columns_line_aligned(self):
-        m = machine(4)
+        m = ctx(4)
         app = Cholesky(m, ncols=40)
         for off in app.col_off:
             assert off % m.config.line_size == 0
 
     def test_first_column_has_no_deps(self):
-        m = machine(4)
+        m = ctx(4)
         app = Cholesky(m, ncols=40)
         assert app.deps[0] == []
 
 
 class TestLocusRoute:
     def test_segments_stay_on_grid(self):
-        m = machine(4)
+        m = ctx(4)
         app = LocusRoute(m, **TINY["locusroute"])
         for wire in app.wire_list:
             for cand in range(app.n_cand):
@@ -203,7 +209,7 @@ class TestLocusRoute:
                         assert 0 <= fixed < app.w and 0 <= a and b < app.h
 
     def test_route_connects_endpoints(self):
-        m = machine(4)
+        m = ctx(4)
         app = LocusRoute(m, **TINY["locusroute"])
         for wire in app.wire_list[:10]:
             x1, y1, x2, y2 = wire
@@ -217,13 +223,13 @@ class TestLocusRoute:
 
 class TestMP3D:
     def test_trajectories_stay_in_cells(self):
-        m = machine(4)
+        m = ctx(4)
         app = MP3D(m, **TINY["mp3d"])
         assert app.traj.min() >= 0
         assert app.traj.max() < app.n_cells
 
     def test_partners_share_cell(self):
-        m = machine(4)
+        m = ctx(4)
         app = MP3D(m, **TINY["mp3d"])
         s, ps = np.nonzero(app.partner >= 0)
         for step, p in zip(s[:50], ps[:50]):

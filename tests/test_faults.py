@@ -283,10 +283,10 @@ class TestStallWatchdog:
             faults=FaultPlan(drop=1.0, max_retries=10_000),
         )
         cfg = spec.config()
-        from repro.apps import APPS
+        from repro.apps import APPS, AppContext
 
         machine = Machine(cfg, protocol="lrc", faults=spec.faults,
                           stall_cycles=200_000)
-        app = APPS["mp3d"](machine, **spec.app_params())
+        app = APPS["mp3d"](AppContext.for_machine(machine), **spec.app_params())
         with pytest.raises(SimulationStall):
             machine.run([app.program(p) for p in range(cfg.n_procs)])

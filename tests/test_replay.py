@@ -1,0 +1,206 @@
+"""Record/replay engine tests (DESIGN.md §11).
+
+Three layers:
+
+* **differential** — the replay engine must be bit-identical to the
+  legacy generator engine: same ``RunResult.to_dict()`` across all four
+  protocols × the seven seed apps, with and without the miss
+  classifier, the invariant checker, and the value model;
+* **stream cache** — a protocol sweep records each app exactly once
+  (in-process memo), and a second sweep against the same on-disk store
+  performs zero record phases; streams round-trip through their
+  serialized form and corrupt blobs degrade to cache misses;
+* **API** — the redesigned App→Stream surface: ``AppContext``
+  construction, the one-release ``App(machine, ...)`` shim, the unified
+  ``run_app`` shapes, ``MachineConfig``, and engine selection.
+"""
+
+import pytest
+
+from repro import SystemConfig
+from repro.apps import AppContext, Gauss
+from repro.core import MachineConfig, build_machine, run_app, simulate
+from repro.harness.spec import ENGINES, ENV_ENGINE, ExperimentSpec, resolve_engine
+from repro.program import stream as stream_mod
+from repro.program.stream import RecordedStream, clear_stream_cache
+from repro.results.store import ResultStore
+
+PROTOCOLS = ("sc", "erc", "lrc", "lrc-ext")
+SEED_APPS = ("gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d")
+
+
+def cfg(n=4, **kw):
+    kw.setdefault("cache_size", 4096)
+    return SystemConfig.scaled(n_procs=n, **kw)
+
+
+def small_spec(app, proto, **kw):
+    return ExperimentSpec(app, proto, n_procs=4, small=True, **kw)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("app", SEED_APPS)
+    def test_engines_bit_identical_across_protocols(self, app):
+        for proto in PROTOCOLS:
+            spec = small_spec(app, proto)
+            gen = spec.run(engine="generator").to_dict()
+            rep = spec.run(engine="replay").to_dict()
+            assert gen == rep, f"{app}/{proto} diverged"
+
+    def test_engines_bit_identical_on_warm_bench_config(self):
+        # The hit-dominated configuration BENCH_engine.json headlines:
+        # wide lines and a long quantum exercise the span deadline-split
+        # arithmetic hardest.
+        over = (("cache_size", 1 << 20), ("line_size", 512), ("quantum", 8000))
+        for proto in ("sc", "lrc"):
+            spec = small_spec("gauss", proto, overrides=over)
+            gen = spec.run(engine="generator").to_dict()
+            rep = spec.run(engine="replay").to_dict()
+            assert gen == rep
+
+    def test_engines_bit_identical_with_classifier(self):
+        spec = small_spec("gauss", "lrc", classify=True)
+        gen = spec.run(engine="generator").to_dict()
+        rep = spec.run(engine="replay").to_dict()
+        assert gen == rep
+
+    def test_checked_replay_equals_unchecked(self, monkeypatch):
+        spec = small_spec("gauss", "lrc")
+        plain = spec.run(engine="replay").to_dict()
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        checked = spec.run(engine="replay").to_dict()
+        assert checked == plain
+
+    def test_value_checked_replay_equals_unchecked(self, monkeypatch):
+        spec = small_spec("gauss", "sc")
+        plain = spec.run(engine="replay").to_dict()
+        monkeypatch.setenv("REPRO_VALUE_CHECK", "1")
+        checked = spec.run(engine="replay").to_dict()
+        assert checked == plain
+
+    def test_simulate_engines_agree(self):
+        a = simulate(Gauss, cfg(), "lrc", n=24)
+        b = simulate(Gauss, cfg(), "lrc", engine="generator", n=24)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestStreamCache:
+    def test_sweep_records_once_and_store_survives_memo_loss(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        clear_stream_cache()
+        start = stream_mod.RECORDINGS
+        for proto in PROTOCOLS:
+            small_spec("gauss", proto).run(engine="replay")
+        assert stream_mod.RECORDINGS == start + 1
+        # Drop the in-process memo: the second sweep must come from the
+        # on-disk stream tier, not a new record phase.
+        clear_stream_cache()
+        for proto in PROTOCOLS:
+            small_spec("gauss", proto).run(engine="replay")
+        assert stream_mod.RECORDINGS == start + 1
+
+    def test_stream_roundtrip(self):
+        app = Gauss(AppContext(cfg()), n=24)
+        s = RecordedStream.record(app)
+        s2 = RecordedStream.from_bytes(s.to_bytes())
+        assert s2.fingerprint() == s.fingerprint()
+        assert s2.meta == s.meta
+        for pid in range(4):
+            assert s2.tuples(pid) == s.tuples(pid)
+
+    def test_fingerprint_stable_across_records(self):
+        a = RecordedStream.record(Gauss(AppContext(cfg()), n=24))
+        b = RecordedStream.record(Gauss(AppContext(cfg()), n=24))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_corrupt_blob_is_a_cache_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = RecordedStream.record(Gauss(AppContext(cfg()), n=24))
+        path = store.save_stream("k", s)
+        assert store.load_stream("k") is not None
+        path.write_bytes(b"not a stream")
+        assert store.load_stream("k") is None
+
+
+class TestMachineReplay:
+    def test_rejects_stream_for_different_machine(self):
+        s = RecordedStream.record(Gauss(AppContext(cfg(4)), n=24))
+        machine = MachineConfig(config=cfg(2)).build()
+        with pytest.raises(ValueError, match="does not fit"):
+            machine.replay(s)
+
+    def test_requires_pristine_address_space(self):
+        c = cfg()
+        s = RecordedStream.record(Gauss(AppContext(c), n=24))
+        machine = MachineConfig(config=c).build()
+        Gauss(AppContext.for_machine(machine), n=24)  # dirties the space
+        with pytest.raises(RuntimeError, match="pristine"):
+            machine.replay(s)
+
+    def test_replay_processor_rejects_generator_programs(self):
+        from repro.engine.replay import ReplayProcessor
+
+        machine = MachineConfig(config=cfg()).build()
+        proc = ReplayProcessor(machine.nodes[0], machine)
+        with pytest.raises(RuntimeError):
+            proc.set_program(iter(()))
+
+
+class TestAppApi:
+    def test_machine_ctor_shim_warns_and_still_runs(self):
+        machine = build_machine(cfg(), protocol="sc")
+        with pytest.warns(DeprecationWarning):
+            app = Gauss(machine, n=24)
+        assert app.machine is machine
+        assert run_app(app).exec_time > 0
+
+    def test_run_app_three_shapes_agree(self):
+        spec = small_spec("gauss", "sc")
+        by_name = run_app("gauss", protocol="sc", n_procs=4, small=True)
+        c = spec.machine_config().config
+        params = spec.app_params()
+        via_ctx = run_app(Gauss(AppContext(c), **params), protocol="sc")
+        machine = MachineConfig(config=c, protocol="sc").build()
+        via_machine = run_app(Gauss(AppContext.for_machine(machine), **params))
+        assert by_name.to_dict() == via_ctx.to_dict() == via_machine.to_dict()
+
+    def test_spec_fields_only_apply_to_names(self):
+        app = Gauss(AppContext(cfg()), n=24)
+        with pytest.raises(TypeError):
+            run_app(app, n_procs=8)
+
+    def test_machine_bound_app_validates_protocol_and_classifier(self):
+        machine = build_machine(cfg(), protocol="sc")
+        app = Gauss(AppContext.for_machine(machine), n=24)
+        with pytest.raises(ValueError, match="running 'sc'"):
+            run_app(app, protocol="lrc")
+        with pytest.raises(ValueError, match="classifier"):
+            run_app(app, classify=True)
+
+    def test_context_app_has_no_machine(self):
+        app = Gauss(AppContext(cfg()), n=24)
+        assert app.machine is None
+
+    def test_machine_config_consolidates_machine_kwargs(self):
+        mc = MachineConfig(config=cfg(), protocol="erc", classify=True)
+        machine = mc.build()
+        assert machine.protocol_name == "erc"
+        assert machine.classifier is not None
+        mc2 = mc.with_(protocol="sc", classify=False)
+        assert (mc2.protocol, mc2.classify) == ("sc", False)
+        assert mc2.config is mc.config
+
+    def test_resolve_engine(self, monkeypatch):
+        monkeypatch.delenv(ENV_ENGINE, raising=False)
+        assert resolve_engine() == "replay"
+        assert resolve_engine("generator") == "generator"
+        with pytest.raises(ValueError):
+            resolve_engine("vectorized")
+        monkeypatch.setenv(ENV_ENGINE, "generator")
+        assert resolve_engine() == "generator"
+        monkeypatch.setenv(ENV_ENGINE, "bogus")
+        with pytest.raises(ValueError):
+            resolve_engine()
+        assert set(ENGINES) == {"replay", "generator"}

@@ -15,7 +15,7 @@ from collections import deque
 import pytest
 
 from repro import Machine, SystemConfig
-from repro.apps import APPS
+from repro.apps import APPS, AppContext
 from repro.harness.presets import APP_ORDER, APP_PRESETS_SMALL, bench_config
 from repro.network.messages import MsgType
 from repro.program.ops import (
@@ -324,7 +324,7 @@ def test_fill_race_regression(proto):
     fill in the network and the stale line stayed resident forever."""
     config = bench_config(n_procs=4)
     m = Machine(config, protocol=proto, check_invariants=True)
-    app = APPS["locusroute"](m, **APP_PRESETS_SMALL["locusroute"])
+    app = APPS["locusroute"](AppContext.for_machine(m), **APP_PRESETS_SMALL["locusroute"])
     m.run([app.program(p) for p in range(4)])  # passes the end-of-run sweep
     assert all(not n.fill_pending and not n.fill_fixup for n in m.nodes)
 
@@ -338,7 +338,7 @@ def test_fill_race_regression(proto):
 def test_invariant_sweep(proto, app):
     def run(**obs):
         m = Machine(bench_config(n_procs=4), protocol=proto, **obs)
-        a = APPS[app](m, **APP_PRESETS_SMALL[app])
+        a = APPS[app](AppContext.for_machine(m), **APP_PRESETS_SMALL[app])
         return m.run([a.program(p) for p in range(4)])
 
     plain = run()
