@@ -47,6 +47,7 @@ CELLS = [
     ("warm", "gauss", "sc", WARM_SHORT_Q),
     ("wt-bound", "gauss", "lrc", WT_BOUND),
     ("wt-bound", "fft", "lrc", WT_BOUND),
+    ("wt-bound", "gauss", "tardis", WT_BOUND),
 ]
 
 

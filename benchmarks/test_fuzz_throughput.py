@@ -46,11 +46,11 @@ def test_differential_iteration(benchmark):
     def run():
         return fuzz_iteration(
             0, seed=0, n_procs=PROCS, n_ops=N_OPS,
-            protocols=("sc", "erc", "lrc", "lrc-ext"),
+            protocols=("sc", "erc", "lrc", "lrc-ext", "tardis"),
         )
 
     failures = once(benchmark, run)
-    text = "Differential iteration: 1 program x 4 protocols, oracle-clean"
+    text = "Differential iteration: 1 program x 5 protocols, oracle-clean"
     print("\n" + text)
     record(text)
     assert failures == []

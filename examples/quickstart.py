@@ -1,19 +1,21 @@
 #!/usr/bin/env python
-"""Quickstart: simulate one application under all four protocols.
+"""Quickstart: simulate one application under every protocol.
 
 Runs the Gauss kernel on a 16-processor machine under sequential
-consistency, eager RC, lazy RC (the paper's contribution), and the
-lazier deferred-notice variant, then prints execution times, miss rates
-and the four-bucket overhead breakdown of Figure 5.
+consistency, eager RC, lazy RC (the paper's contribution), the lazier
+deferred-notice variant, and Tardis timestamp coherence, then prints
+execution times, miss rates and the four-bucket overhead breakdown of
+Figure 5.
 
     python examples/quickstart.py
 """
 
 from repro import SystemConfig, simulate
 from repro.apps import Gauss
+from repro.protocols import all_names
 from repro.stats.report import breakdown_bar, format_table
 
-PROTOCOLS = ["sc", "erc", "lrc", "lrc-ext"]
+PROTOCOLS = list(all_names())
 
 
 def main() -> None:

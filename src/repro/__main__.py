@@ -60,7 +60,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.presets import APP_PRESETS, APP_PRESETS_SMALL
 from repro.harness.spec import ENGINES, ENV_ENGINE
-from repro.protocols import PROTOCOLS
+from repro.protocols import REGISTRY, all_names
 from repro.results.store import DEFAULT_ROOT, ResultStore
 from repro.stats.report import format_table
 from repro.trace import LEVELS, Tracer
@@ -70,7 +70,7 @@ def _cmd_list(_args) -> int:
     print("applications:")
     for name in sorted(APPS):
         print(f"  {name:12s} presets: {APP_PRESETS[name]}")
-    print("protocols:", ", ".join(sorted(PROTOCOLS)))
+    print("protocols:", ", ".join(all_names()))
     return 0
 
 
@@ -92,7 +92,7 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     rows = []
     base = None
-    for proto in ("sc", "erc", "lrc", "lrc-ext"):
+    for proto in all_names():
         r = run_experiment(
             args.app,
             proto,
@@ -374,7 +374,7 @@ def main(argv=None) -> int:
 
     p_run = sub.add_parser("run", help="run one app under one protocol")
     p_run.add_argument("app", choices=sorted(APPS))
-    p_run.add_argument("--protocol", default="lrc", choices=sorted(PROTOCOLS))
+    p_run.add_argument("--protocol", default="lrc", choices=sorted(REGISTRY))
     p_run.add_argument("--procs", type=int, default=16)
     p_run.add_argument("--small", action="store_true")
     p_run.add_argument("--check-invariants", action="store_true", help=check_help)
@@ -422,7 +422,7 @@ def main(argv=None) -> int:
         "on a violation, print the event window around it",
     )
     p_tr.add_argument("app", choices=sorted(APPS))
-    p_tr.add_argument("--protocol", default="lrc", choices=sorted(PROTOCOLS))
+    p_tr.add_argument("--protocol", default="lrc", choices=sorted(REGISTRY))
     p_tr.add_argument("--procs", type=int, default=4)
     p_tr.add_argument("--small", action="store_true")
     p_tr.add_argument(
@@ -458,8 +458,8 @@ def main(argv=None) -> int:
     p_fz.add_argument("--n-ops", type=int, default=120,
                       help="target ops per processor (default 120)")
     p_fz.add_argument(
-        "--protocols", nargs="*", default=["sc", "erc", "lrc", "lrc-ext"],
-        choices=sorted(PROTOCOLS), metavar="PROTO",
+        "--protocols", nargs="*", default=list(all_names()),
+        choices=sorted(REGISTRY), metavar="PROTO",
     )
     p_fz.add_argument(
         "--minimize", action=argparse.BooleanOptionalAction, default=True,
@@ -501,8 +501,8 @@ def main(argv=None) -> int:
                       help="programs per rate (default 10)")
     p_fl.add_argument("--procs", type=int, default=8)
     p_fl.add_argument(
-        "--protocols", nargs="*", default=["sc", "erc", "lrc", "lrc-ext"],
-        choices=sorted(PROTOCOLS), metavar="PROTO",
+        "--protocols", nargs="*", default=list(all_names()),
+        choices=sorted(REGISTRY), metavar="PROTO",
     )
     p_fl.add_argument(
         "--rates", nargs="*", type=float, default=[0.01, 0.02, 0.05],

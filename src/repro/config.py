@@ -73,6 +73,7 @@ class SystemConfig:
     notice_cost: int = 4       # processing one write notice at a sharer
     lrc_dir_cost: int = 25     # directory access, lazy protocols
     erc_dir_cost: int = 15     # directory access, eager / SC protocols
+    tardis_lease: int = 10     # read-lease length (logical ts) for tardis
 
     # -- buffering (Section 3 / Section 2) ------------------------------------
     wb_entries: int = 4        # CPU write buffer (relaxed protocols)

@@ -40,8 +40,9 @@ from repro.conformance.minimize import minimize
 from repro.conformance.oracle import COUNT_KEYS, OracleResult, interpret, token_str
 from repro.conformance.program import ProgramSpec
 from repro.conformance.shadow import ConformanceViolation
+from repro.protocols import all_names
 
-PROTOCOLS_UNDER_TEST = ("sc", "erc", "lrc", "lrc-ext")
+PROTOCOLS_UNDER_TEST = all_names()
 
 #: Cache size for fuzz machines: small enough that conformance programs
 #: see real capacity/conflict evictions, still a power-of-two set count.
@@ -152,6 +153,27 @@ def structural_errors(machine) -> List[str]:
     s = machine.stats
     name = machine.protocol_name
     errs = []
+    if machine.protocol.timestamp_coherence:
+        # Tardis has no sharer lists: notices, eager invalidations,
+        # writebacks and deferral are all structurally impossible.
+        if s.writebacks:
+            errs.append(f"{name} performed {s.writebacks} dirty writebacks")
+        if s.eager_invalidations:
+            errs.append(f"{name} sent {s.eager_invalidations} eager invalidations")
+        if s.notices_sent:
+            errs.append(f"{name} sent {s.notices_sent} write notices")
+        if s.deferred_notices:
+            errs.append(f"{name} deferred {s.deferred_notices} write notices")
+        if s.acquire_invalidations != s.lease_expirations:
+            errs.append(
+                f"{name} acquire invalidations ({s.acquire_invalidations}) "
+                f"!= lease expirations ({s.lease_expirations})"
+            )
+        return errs
+    if s.ts_bumps:
+        errs.append(f"{name} bumped {s.ts_bumps} write timestamps")
+    if s.lease_expirations:
+        errs.append(f"{name} expired {s.lease_expirations} read leases")
     if machine.protocol.write_through:
         if s.writebacks:
             errs.append(f"{name} performed {s.writebacks} dirty writebacks")

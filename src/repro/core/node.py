@@ -52,6 +52,9 @@ class Node:
         "wt_drain_busy",
         "wt_inflight",
         "wt_waiters",
+        "pts",
+        "ts_lease",
+        "ts_dirty",
         "tracer",
         "checker",
     )
@@ -120,6 +123,12 @@ class Node:
         # until the ack returns.
         self.wt_inflight = {}
         self.wt_waiters = {}
+        # Tardis: per-processor logical timestamp, read leases of the
+        # resident lines (block -> rts), and blocks written since the
+        # last release (whose wts must be bumped at the next release).
+        self.pts = 0
+        self.ts_lease = {}
+        self.ts_dirty: Set[int] = set()
         # Observability (set by Machine when tracing / checking is on).
         self.tracer = None
         self.checker = None

@@ -172,10 +172,10 @@ SWEEP_VARIANTS = [
 _ARTIFACT_PROTOCOLS = {
     "f4": (("sc", "erc", "lrc"), "default"),
     "f5": (("sc", "erc", "lrc"), "default"),
-    "f6": (("sc", "lrc", "lrc-ext"), "default"),
-    "f7": (("sc", "lrc", "lrc-ext"), "default"),
-    "f8": (("sc", "erc", "lrc", "lrc-ext"), "future"),
-    "f9": (("sc", "erc", "lrc", "lrc-ext"), "future"),
+    "f6": (("sc", "lrc", "lrc-ext", "tardis"), "default"),
+    "f7": (("sc", "lrc", "lrc-ext", "tardis"), "default"),
+    "f8": (("sc", "erc", "lrc", "lrc-ext", "tardis"), "future"),
+    "f9": (("sc", "erc", "lrc", "lrc-ext", "tardis"), "future"),
 }
 
 
@@ -196,7 +196,7 @@ def artifact_specs(
         return [
             ExperimentSpec(app, proto, n_procs=n_procs, small=small)
             for app in APP_ORDER
-            for proto in ("erc", "lrc", "lrc-ext")
+            for proto in ("erc", "lrc", "lrc-ext", "tardis")
         ]
     if artifact == "sweep":
         return [
@@ -293,17 +293,17 @@ def table3_miss_rates(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str
     for app in APP_ORDER:
         data[app] = {
             proto: run_experiment(app, proto, n_procs=n_procs, small=small).miss_rate
-            for proto in ("erc", "lrc", "lrc-ext")
+            for proto in ("erc", "lrc", "lrc-ext", "tardis")
         }
     lines = [
         "Table 3: Miss rates for the implementations of release consistency",
-        f"{'Application':<12} {'Eager':>8} {'Lazy':>8} {'Lazy-ext':>9}",
+        f"{'Application':<12} {'Eager':>8} {'Lazy':>8} {'Lazy-ext':>9} {'Tardis':>8}",
     ]
     for app in APP_ORDER:
         d = data[app]
         lines.append(
             f"{APP_LABELS[app]:<12} {d['erc']*100:>7.2f}% {d['lrc']*100:>7.2f}% "
-            f"{d['lrc-ext']*100:>8.2f}%"
+            f"{d['lrc-ext']*100:>8.2f}% {d['tardis']*100:>7.2f}%"
         )
     return data, "\n".join(lines)
 
@@ -347,21 +347,24 @@ def figure4_normalized_time(n_procs: int = 64, small: bool = False) -> Tuple[Dic
 
 
 def figure6_lazier(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
-    data = _normalized_times(["lrc", "lrc-ext"], "default", n_procs, small)
+    protos = ["lrc", "lrc-ext", "tardis"]
+    data = _normalized_times(protos, "default", n_procs, small)
     return data, _render_times(
-        f"Figure 6: Normalized execution time, lazy vs lazy-extended ({n_procs} processors)",
+        f"Figure 6: Normalized execution time, lazy vs lazy-extended vs tardis "
+        f"({n_procs} processors)",
         data,
-        ["lrc", "lrc-ext"],
+        protos,
     )
 
 
 def figure8_future(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
-    data = _normalized_times(["erc", "lrc", "lrc-ext"], "future", n_procs, small)
+    protos = ["erc", "lrc", "lrc-ext", "tardis"]
+    data = _normalized_times(protos, "future", n_procs, small)
     return data, _render_times(
         "Figure 8: Performance trends on the future machine "
         "(40-cycle setup, 4 B/cycle, 256-byte lines)",
         data,
-        ["erc", "lrc", "lrc-ext"],
+        protos,
     )
 
 
@@ -413,7 +416,7 @@ def figure5_breakdown(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str
 
 
 def figure7_lazier_breakdown(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
-    protos = ["lrc", "lrc-ext", "sc"]
+    protos = ["lrc", "lrc-ext", "tardis", "sc"]
     data = _breakdowns(protos, "default", n_procs, small)
     return data, _render_breakdown(
         f"Figure 7: Overhead analysis, lazy / lazy-extended / SC ({n_procs} processors)",
@@ -423,7 +426,7 @@ def figure7_lazier_breakdown(n_procs: int = 64, small: bool = False) -> Tuple[Di
 
 
 def figure9_future_breakdown(n_procs: int = 64, small: bool = False) -> Tuple[Dict, str]:
-    protos = ["lrc", "lrc-ext", "erc", "sc"]
+    protos = ["lrc", "lrc-ext", "tardis", "erc", "sc"]
     data = _breakdowns(protos, "future", n_procs, small)
     return data, _render_breakdown(
         "Figure 9: Overhead analysis on the future machine "

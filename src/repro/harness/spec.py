@@ -107,12 +107,15 @@ class ExperimentSpec:
                 f"unknown machine kind {self.kind!r} (expected one of {MACHINE_KINDS})"
             )
         from repro.apps import APPS
-        from repro.protocols import PROTOCOLS
+        from repro.protocols import REGISTRY
 
         if self.app not in APPS:
             raise ValueError(f"unknown application {self.app!r}")
-        if self.protocol not in PROTOCOLS:
-            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.protocol not in REGISTRY:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {sorted(REGISTRY)}"
+            )
         if self.n_procs < 1:
             raise ValueError("n_procs must be >= 1")
 

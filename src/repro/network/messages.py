@@ -36,6 +36,7 @@ class MsgType(IntEnum):
     FLAG_WAIT = 18        # consumer: block until the flag is set
     FLAG_GRANT = 19       # home -> consumer, flag observed set
     RD_ACK = 20           # reliable-delivery cumulative ack (faults only)
+    TS_BUMP = 21          # tardis: advance a block's write timestamp at home
 
 
 #: Message types that carry a full cache line of payload.

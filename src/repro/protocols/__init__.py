@@ -1,4 +1,4 @@
-"""The four coherence protocols evaluated in the paper.
+"""The coherence protocols behind the ``Protocol`` API.
 
 * :class:`~repro.protocols.sc.SCProtocol`       — sequentially consistent
   directory protocol (normalization baseline).
@@ -8,29 +8,50 @@
   consistency for hardware-coherent machines.
 * :class:`~repro.protocols.lrc_ext.LRCExtProtocol` — the lazier variant
   that defers write notices until release points.
+* :class:`~repro.protocols.tardis.TardisProtocol` — Tardis timestamp
+  coherence (leases + logical clocks, no invalidation fan-out), relaxed
+  to the paper's release/acquire sync points.
+
+:data:`REGISTRY` is the single name -> class table; every consumer
+(``ExperimentSpec``, the ``Machine`` constructor, the conformance
+fuzzer, the CLI) resolves protocol names through it, so an unknown name
+fails in one place with one error.
 """
+
+from typing import Tuple
 
 from repro.protocols.base import Protocol
 from repro.protocols.sc import SCProtocol
 from repro.protocols.erc import ERCProtocol
 from repro.protocols.lrc import LRCProtocol
 from repro.protocols.lrc_ext import LRCExtProtocol
+from repro.protocols.tardis import TardisProtocol
 
-PROTOCOLS = {
+#: The protocol registry: short name -> class, in canonical sweep order.
+REGISTRY = {
     "sc": SCProtocol,
     "erc": ERCProtocol,
     "lrc": LRCProtocol,
     "lrc-ext": LRCExtProtocol,
+    "tardis": TardisProtocol,
 }
+
+#: Back-compat alias (same dict object; tests monkeypatch entries into it).
+PROTOCOLS = REGISTRY
+
+
+def all_names() -> Tuple[str, ...]:
+    """Every registered protocol name, in canonical sweep order."""
+    return tuple(REGISTRY)
 
 
 def make_protocol(name: str, machine) -> Protocol:
     """Instantiate a protocol by its short name."""
     try:
-        cls = PROTOCOLS[name]
+        cls = REGISTRY[name]
     except KeyError:
         raise ValueError(
-            f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}"
+            f"unknown protocol {name!r}; choose from {sorted(REGISTRY)}"
         ) from None
     return cls(machine)
 
@@ -41,6 +62,9 @@ __all__ = [
     "ERCProtocol",
     "LRCProtocol",
     "LRCExtProtocol",
+    "TardisProtocol",
+    "REGISTRY",
     "PROTOCOLS",
+    "all_names",
     "make_protocol",
 ]

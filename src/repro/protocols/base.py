@@ -32,6 +32,7 @@ class Protocol:
     name = "base"
     uses_write_buffer = True     # SC overrides to False
     write_through = False        # lazy protocols override to True
+    timestamp_coherence = False  # tardis overrides to True
 
     def __init__(self, machine) -> None:
         self.machine = machine
@@ -79,6 +80,20 @@ class Protocol:
 
         Default (eager protocols): nothing is pending, return ``t``."""
         return t
+
+    # -- timestamp-coherence hooks (no-ops except under tardis) --------------
+
+    def _sync_ts(self, node) -> int:
+        """Timestamp payload a release-semantics operation publishes.
+
+        Every release-side synchronization message (lock release, barrier
+        arrival, flag set) carries this value; sync managers accumulate
+        the max and hand it to the matching acquire side.  Timestamp-free
+        protocols publish 0 and ignore what they receive."""
+        return 0
+
+    def _apply_sync_ts(self, node, ts: int) -> None:
+        """Adopt a timestamp observed at an acquire-semantics operation."""
 
     # -- observability guards ------------------------------------------------------
 
@@ -133,18 +148,20 @@ class Protocol:
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
         st = home.lock_state.get(lock_id)
         if st is None:
-            st = {"held": False, "queue": deque()}
+            st = {"held": False, "queue": deque(), "ts": 0}
             home.lock_state[lock_id] = st
         if not st["held"]:
             st["held"] = True
             self.fabric.send(
-                home.id, requester, MsgType.LOCK_GRANT, tp, self._h_lock_grant, requester
+                home.id, requester, MsgType.LOCK_GRANT, tp, self._h_lock_grant,
+                requester, st["ts"],
             )
         else:
             st["queue"].append(requester)
 
-    def _h_lock_grant(self, t: int, requester: int) -> None:
+    def _h_lock_grant(self, t: int, requester: int, ts: int = 0) -> None:
         node = self.nodes[requester]
+        self._apply_sync_ts(node, ts)
         # Finish invalidations: those started at acquire time may still be
         # in progress; notices that arrived while waiting are processed now.
         t2 = t if t >= node.acq_inv_done else node.acq_inv_done
@@ -161,19 +178,23 @@ class Protocol:
                 t2,
                 self._h_lock_release,
                 lock_id,
+                self._sync_ts(node),
             )
             node.proc.unblock(t2 + 1)
 
         self._pre_release(node, t, self._guard_release(node, done))
 
-    def _h_lock_release(self, t: int, lock_id: int) -> None:
+    def _h_lock_release(self, t: int, lock_id: int, ts: int = 0) -> None:
         home = self.nodes[self.lock_home(lock_id)]
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
         st = home.lock_state[lock_id]
+        if ts > st.get("ts", 0):
+            st["ts"] = ts
         if st["queue"]:
             nxt = st["queue"].popleft()
             self.fabric.send(
-                home.id, nxt, MsgType.LOCK_GRANT, tp, self._h_lock_grant, nxt
+                home.id, nxt, MsgType.LOCK_GRANT, tp, self._h_lock_grant,
+                nxt, st.get("ts", 0),
             )
         else:
             st["held"] = False
@@ -192,18 +213,21 @@ class Protocol:
                 self._h_barrier_arrive,
                 barrier_id,
                 node.id,
+                self._sync_ts(node),
             )
 
         self._pre_release(node, t, self._guard_release(node, arrived))
 
-    def _h_barrier_arrive(self, t: int, barrier_id: int, src: int) -> None:
+    def _h_barrier_arrive(self, t: int, barrier_id: int, src: int, ts: int = 0) -> None:
         home = self.nodes[self.lock_home(barrier_id)]
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
         st = home.barrier_state.get(barrier_id)
         if st is None:
-            st = {"waiters": deque()}
+            st = {"waiters": deque(), "ts": 0}
             home.barrier_state[barrier_id] = st
         st["waiters"].append(src)
+        if ts > st.get("ts", 0):
+            st["ts"] = ts
         if len(st["waiters"]) == self._n:
             # Releases go out one at a time through the manager's protocol
             # processor — the natural serialization skew of a central
@@ -211,12 +235,14 @@ class Protocol:
             for w in st["waiters"]:
                 tg = home.pp.reserve(tp, self.cfg.lock_mgr_cost)
                 self.fabric.send(
-                    home.id, w, MsgType.BARRIER_EXIT, tg, self._h_barrier_exit, w
+                    home.id, w, MsgType.BARRIER_EXIT, tg, self._h_barrier_exit,
+                    w, st.get("ts", 0),
                 )
             st["waiters"].clear()
 
-    def _h_barrier_exit(self, t: int, target: int) -> None:
+    def _h_barrier_exit(self, t: int, target: int, ts: int = 0) -> None:
         node = self.nodes[target]
+        self._apply_sync_ts(node, ts)
         t2 = self._process_pending_invals(node, t)
         self._acquire_done(node, t2)
         node.proc.unblock(t2)
@@ -236,22 +262,26 @@ class Protocol:
                 t2,
                 self._h_flag_set,
                 flag_id,
+                self._sync_ts(node),
             )
             node.proc.unblock(t2 + 1)
 
         self._pre_release(node, t, self._guard_release(node, done))
 
-    def _h_flag_set(self, t: int, flag_id: int) -> None:
+    def _h_flag_set(self, t: int, flag_id: int, ts: int = 0) -> None:
         home = self.nodes[self.lock_home(flag_id)]
         tp = home.pp.reserve(t, self.cfg.lock_mgr_cost)
         st = home.lock_state.setdefault(
-            ("f", flag_id), {"set": False, "waiters": deque()}
+            ("f", flag_id), {"set": False, "waiters": deque(), "ts": 0}
         )
         st["set"] = True
+        if ts > st.get("ts", 0):
+            st["ts"] = ts
         for w in st["waiters"]:
             tp = home.pp.reserve(tp, self.cfg.lock_mgr_cost)
             self.fabric.send(
-                home.id, w, MsgType.FLAG_GRANT, tp, self._h_flag_granted, w
+                home.id, w, MsgType.FLAG_GRANT, tp, self._h_flag_granted,
+                w, st.get("ts", 0),
             )
         st["waiters"].clear()
 
@@ -276,13 +306,15 @@ class Protocol:
         )
         if st["set"]:
             self.fabric.send(
-                home.id, requester, MsgType.FLAG_GRANT, tp, self._h_flag_granted, requester
+                home.id, requester, MsgType.FLAG_GRANT, tp, self._h_flag_granted,
+                requester, st.get("ts", 0),
             )
         else:
             st["waiters"].append(requester)
 
-    def _h_flag_granted(self, t: int, requester: int) -> None:
+    def _h_flag_granted(self, t: int, requester: int, ts: int = 0) -> None:
         node = self.nodes[requester]
+        self._apply_sync_ts(node, ts)
         t2 = t if t >= node.acq_inv_done else node.acq_inv_done
         t2 = self._process_pending_invals(node, t2)
         self._acquire_done(node, t2)

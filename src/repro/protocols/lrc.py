@@ -221,12 +221,17 @@ class LRCProtocol(Protocol):
         else:
             del node.wt_inflight[block]
             for kind in node.wt_waiters.pop(block, ()):
-                if kind == "read":
-                    self._send_read_req(node, t, block)
-                else:
-                    self._send_write_fetch(node, t, block)
+                self._wt_waiter_resume(node, t, block, kind)
         if background:
             self._kick_drain(node, t)
+
+    def _wt_waiter_resume(self, node, t: int, block: int, kind: str) -> None:
+        """Resume one message held behind this block's write-throughs.
+        Subclasses add waiter kinds (tardis queues timestamp bumps)."""
+        if kind == "read":
+            self._send_read_req(node, t, block)
+        else:
+            self._send_write_fetch(node, t, block)
 
     # ==========================================================================
     # Release / acquire semantics

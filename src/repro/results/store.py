@@ -38,12 +38,16 @@ last-writer-wins is harmless because results are deterministic.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
+import time
 import traceback as _traceback
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
+
+log = logging.getLogger(__name__)
 
 from repro.core.machine import RunResult
 from repro.harness.spec import ExperimentSpec
@@ -60,6 +64,12 @@ ENV_STORE_DIR = "REPRO_RESULTS_DIR"
 
 #: Filename suffix of failure records (``<fingerprint>.fail.json``).
 FAILURE_SUFFIX = ".fail.json"
+
+#: Minimum age (seconds) before an orphaned ``*.tmp`` file is swept.
+#: Younger temp files may belong to a write in flight in another
+#: process; anything older than this was left behind by a crash between
+#: ``mkstemp`` and ``os.replace``.
+TMP_SWEEP_AGE = 300.0
 
 #: Exception class name -> stable failure kind.  Anything unlisted is
 #: recorded under its own class name, so no failure is ever anonymous.
@@ -126,6 +136,29 @@ class ResultStore:
 
     def __init__(self, root: os.PathLike = DEFAULT_ROOT) -> None:
         self.root = Path(root)
+        self._sweep_orphaned_tmp()
+
+    def _sweep_orphaned_tmp(self, min_age: float = TMP_SWEEP_AGE) -> int:
+        """Delete ``*.tmp`` files older than ``min_age`` seconds.
+
+        Atomic writes go through ``mkstemp`` + ``os.replace``; a worker
+        killed in between leaves the temp file behind forever (nothing
+        else knows its randomized name).  Age-gating keeps the sweep
+        safe to run concurrently with live writers, and every unlink
+        tolerates losing the race to another sweeper.
+        """
+        n = 0
+        if not self.root.is_dir():
+            return n
+        cutoff = time.time() - min_age
+        for p in self.root.glob("*.tmp"):
+            try:
+                if p.stat().st_mtime <= cutoff:
+                    p.unlink()
+                    n += 1
+            except OSError:
+                continue
+        return n
 
     def __repr__(self) -> str:
         return f"ResultStore({str(self.root)!r})"
@@ -234,7 +267,10 @@ class ResultStore:
                     payload = json.load(f)
                 if payload.get("schema") == SCHEMA_VERSION:
                     out.append(RunFailure.from_dict(payload))
-            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                # A half-written or corrupt record is a skip, not an
+                # error — but a silent skip hides evidence, so say so.
+                log.warning("skipping unreadable failure record %s: %s", path, exc)
                 continue
         return out
 
@@ -291,14 +327,18 @@ class ResultStore:
         )
 
     def clear(self) -> int:
-        """Delete every stored entry (results, failure records, and
-        recorded streams); returns how many files were removed."""
+        """Delete every stored entry (results, failure records,
+        recorded streams, and orphaned temp files); returns how many
+        files were removed."""
         n = 0
         if self.root.is_dir():
-            for pattern in ("*.json", "*.stream.npz"):
+            for pattern in ("*.json", "*.stream.npz", "*.tmp"):
                 for p in self.root.glob(pattern):
-                    p.unlink()
-                    n += 1
+                    try:
+                        p.unlink()
+                        n += 1
+                    except OSError:
+                        continue  # lost a race to a concurrent clear
         return n
 
 

@@ -30,6 +30,8 @@ _MACHINE_COUNTERS = (
     "writebacks",
     "three_hop_reads",
     "deferred_notices",
+    "ts_bumps",
+    "lease_expirations",
 )
 
 
@@ -108,6 +110,8 @@ class MachineStats:
         self.writebacks = 0                # dirty writebacks (eager/SC)
         self.three_hop_reads = 0           # reads forwarded to a dirty owner
         self.deferred_notices = 0          # lazy-ext notices sent at release
+        self.ts_bumps = 0                  # tardis write-timestamp bumps
+        self.lease_expirations = 0         # tardis lines self-invalidated
 
     # -- aggregates ---------------------------------------------------------------
 
@@ -174,5 +178,6 @@ class MachineStats:
         s = cls(len(d["procs"]))
         s.procs = [ProcStats.from_dict(p) for p in d["procs"]]
         for name in _MACHINE_COUNTERS:
-            setattr(s, name, d[name])
+            # .get: results stored before a counter existed read back as 0.
+            setattr(s, name, d.get(name, 0))
         return s

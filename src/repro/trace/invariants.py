@@ -28,13 +28,17 @@ Invariants checked mid-run (must hold at any instant):
   ``pending_acks >= 0``, and waiting requesters imply an open ack
   collection;
 * MSI directory entries: state DIRTY iff an owner is recorded, the owner
-  is a sharer, members in range.
+  is a sharer, members in range;
+* Tardis entries: ``0 <= wts <= rts``; per node, the logical clock
+  ``pts`` is monotone and the lease table mirrors cache residency.
 
 At sync points:
 
 * when a release's continuation fires: the write buffer and coalescing
   buffer are empty and no transaction is outstanding;
-* after acquire invalidation processing: ``pending_inval`` is empty.
+* after acquire invalidation processing: ``pending_inval`` is empty
+  (tardis: every surviving resident lease covers the new ``pts`` — the
+  relaxed-mode lease-validity obligation).
 
 At end of run, additionally:
 
@@ -56,6 +60,7 @@ from typing import Iterable, Optional
 
 from repro.cache.state import INVALID, RO, RW
 from repro.directory.lazy import LazyDirectory
+from repro.directory.timestamp import TardisDirectory, TardisEntry
 from repro.directory.entry import (
     DIRTY,
     LazyEntry,
@@ -92,6 +97,7 @@ class InvariantChecker:
         self.tracer = tracer
         self.level = level
         self.checks_run = 0
+        self._last_pts = {}  # tardis: node id -> last observed clock
 
     # -- failure path ----------------------------------------------------------
 
@@ -124,6 +130,12 @@ class InvariantChecker:
                 f"node {node.id}: release fired at t={t} with "
                 f"{node.out_count} transactions outstanding",
             )
+        if self.machine.protocol.timestamp_coherence and node.ts_dirty:
+            self._fail(
+                node.id,
+                f"node {node.id}: release fired at t={t} with unbumped "
+                f"dirty blocks {sorted(node.ts_dirty)[:8]}",
+            )
         if self.level in ("sync", "event"):
             self.scan()
 
@@ -136,6 +148,15 @@ class InvariantChecker:
                 f"node {node.id}: acquire completed at t={t} with pending "
                 f"invalidations unprocessed: {sorted(node.pending_inval)[:8]}",
             )
+        if self.machine.protocol.timestamp_coherence:
+            stale = [b for b, l in node.ts_lease.items() if l < node.pts]
+            if stale:
+                self._fail(
+                    node.id,
+                    f"node {node.id}: acquire completed at t={t} with expired "
+                    f"leases still resident (pts={node.pts}): "
+                    f"{[(b, node.ts_lease[b]) for b in sorted(stale)[:8]]}",
+                )
         if self.level in ("sync", "event"):
             self.scan()
 
@@ -163,8 +184,12 @@ class InvariantChecker:
             for block, entry in node.directory.entries.items():
                 if isinstance(entry, LazyEntry):
                     self._check_lazy_entry(node.id, block, entry, n)
+                elif isinstance(entry, TardisEntry):
+                    self._check_tardis_entry(node.id, block, entry)
                 else:
                     self._check_msi_entry(node.id, block, entry, n)
+            if self.machine.protocol.timestamp_coherence:
+                self._check_tardis_node(node)
 
     def _check_buffer(self, node_id: int, buf, what: str) -> None:
         if buf is None:
@@ -216,6 +241,33 @@ class InvariantChecker:
                 f"home {home}, block {block:#x}: requesters "
                 f"{[r for r, _ in e.pending_requesters]} waiting on a "
                 f"closed ack collection",
+            )
+
+    def _check_tardis_entry(self, home: int, block: int, e: TardisEntry) -> None:
+        if not 0 <= e.wts <= e.rts:
+            self._fail(
+                home,
+                f"home {home}, block {block:#x}: timestamp order violated "
+                f"(wts={e.wts}, rts={e.rts})",
+            )
+
+    def _check_tardis_node(self, node) -> None:
+        last = self._last_pts.get(node.id, 0)
+        if node.pts < last:
+            self._fail(
+                node.id,
+                f"node {node.id}: logical clock moved backwards "
+                f"({last} -> {node.pts})",
+            )
+        self._last_pts[node.id] = node.pts
+        resident = set(node.cache.resident_blocks())
+        leased = set(node.ts_lease)
+        if resident != leased:
+            self._fail(
+                node.id,
+                f"node {node.id}: lease table disagrees with cache residency "
+                f"(unleased resident={sorted(resident - leased)[:8]}, "
+                f"leased absent={sorted(leased - resident)[:8]})",
             )
 
     def _check_msi_entry(self, home: int, block: int, e: MSIEntry, n: int) -> None:
@@ -341,7 +393,18 @@ class InvariantChecker:
                 state = node.cache.lookup(block)
                 home = m.nodes[m.home_of(block)]
                 e = home.directory.entries.get(block)
-                if isinstance(home.directory, LazyDirectory):
+                if isinstance(home.directory, TardisDirectory):
+                    # Tardis homes track no sharers; the per-node story is
+                    # the lease table, which scan() already reconciled with
+                    # residency.  A resident block must have been fetched,
+                    # so its home entry exists with a granted lease.
+                    if e is None or e.rts == 0:
+                        self._fail(
+                            node.id,
+                            f"node {node.id} caches block {block:#x} but home "
+                            f"{home.id} never granted a lease for it",
+                        )
+                elif isinstance(home.directory, LazyDirectory):
                     if e is None or node.id not in e.sharers:
                         self._fail(
                             node.id,
@@ -382,6 +445,8 @@ class InvariantChecker:
         # Home view: every registered sharer must actually cache the block.
         for home in m.nodes:
             for block, e in home.directory.entries.items():
+                if isinstance(e, TardisEntry):
+                    continue  # no sharer bookkeeping to reconcile
                 for s in e.sharers:
                     if m.nodes[s].cache.lookup(block) == INVALID:
                         self._fail(

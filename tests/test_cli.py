@@ -47,8 +47,8 @@ def test_figures_subset_with_store(tmp_path, capsys):
     cold = capsys.readouterr().out
     assert "Table 1" in cold and "Table 3" in cold
     assert "Miss rates" in cold
-    # t3 needs erc/lrc/lrc-ext for 7 apps = 21 stored results.
-    assert len(list((tmp_path / "results").glob("*.json"))) == 21
+    # t3 needs erc/lrc/lrc-ext/tardis for 7 apps = 28 stored results.
+    assert len(list((tmp_path / "results").glob("*.json"))) == 28
 
     # Warm rerun: served from the store, bit-identical output.
     clear_cache()

@@ -170,7 +170,7 @@ class TestRunOne:
     def test_fuzz_iteration_clean_across_protocols(self):
         fails = fuzz_iteration(
             0, seed=9, n_procs=4, n_ops=40,
-            protocols=("sc", "erc", "lrc", "lrc-ext"),
+            protocols=("sc", "erc", "lrc", "lrc-ext", "tardis"),
         )
         assert fails == []
 

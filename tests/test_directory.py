@@ -224,3 +224,52 @@ class TestMSIDirectory:
     def test_evict_unknown_block(self):
         d = MSIDirectory()
         assert d.evict(5, 0, dirty=False) == UNCACHED
+
+
+class TestTardisDirectory:
+    def _dir(self):
+        from repro.directory.timestamp import TardisDirectory
+
+        return TardisDirectory()
+
+    def test_entries_auto_create_at_zero(self):
+        d = self._dir()
+        e = d.entry(7)
+        assert (e.wts, e.rts) == (0, 0)
+        assert d.entry(7) is e
+
+    def test_read_grants_lease_past_reader_pts(self):
+        d = self._dir()
+        wts, rts = d.read(3, reader_pts=5, lease=10)
+        assert wts == 0 and rts == 15
+
+    def test_read_never_shrinks_a_lease(self):
+        d = self._dir()
+        d.read(3, reader_pts=50, lease=10)       # rts -> 60
+        wts, rts = d.read(3, reader_pts=0, lease=10)
+        assert rts == 60
+
+    def test_read_lease_starts_at_wts_after_bump(self):
+        d = self._dir()
+        d.read(3, reader_pts=0, lease=10)        # rts -> 10
+        d.bump(3)                                # wts = rts + 1 = 11
+        wts, rts = d.read(3, reader_pts=0, lease=5)
+        assert wts == 11 and rts == 11           # max(0 + 5, wts)
+
+    def test_bump_moves_wts_past_every_granted_lease(self):
+        d = self._dir()
+        d.read(3, reader_pts=0, lease=10)
+        assert d.bump(3) == 11
+        e = d.entry(3)
+        assert e.wts == 11 and e.rts == 11
+        assert d.bump(3) == 12                   # strictly monotone
+
+    def test_wts_never_exceeds_rts(self):
+        d = self._dir()
+        for pts in (0, 4, 30):
+            d.read(9, reader_pts=pts, lease=7)
+            e = d.entry(9)
+            assert e.wts <= e.rts
+            d.bump(9)
+            e = d.entry(9)
+            assert e.wts <= e.rts

@@ -17,10 +17,10 @@ import pytest
 from repro.harness import run_experiment
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
-PROTOCOLS = ("sc", "erc", "lrc", "lrc-ext")
+PROTOCOLS = ("sc", "erc", "lrc", "lrc-ext", "tardis")
 
 #: Apps snapshotted (small presets keep the run fast).
-CASES = ("gauss", "fft")
+CASES = ("gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d")
 N_PROCS = 4
 
 

@@ -453,3 +453,123 @@ class TestLazyExt:
 
         r = run(m, [prog(0)])
         assert r.stats.deferred_notices > 0
+
+
+class TestTardisMechanisms:
+    def test_write_publishes_without_fanout(self):
+        """The Tardis trade: a release bumps timestamps at the home
+        instead of invalidating sharers — no notices, no acks, no
+        eager invalidations."""
+        m = Machine(cfg(2), protocol="tardis")
+        seg = m.space.alloc(4096, "d")
+
+        def writer(pid):
+            yield (COMPUTE, 5000)
+            yield (WRITE, seg.base)
+            yield (FENCE,)
+            yield (BARRIER, 0)
+
+        def reader(pid):
+            yield (READ, seg.base)
+            yield (COMPUTE, 30000)
+            yield (BARRIER, 0)
+
+        run(m, [writer(0), reader(1)])
+        assert m.stats.ts_bumps >= 1
+        assert m.stats.notices_sent == 0
+        assert m.stats.eager_invalidations == 0
+        assert m.stats.writebacks == 0
+
+    def test_reader_keeps_stale_line_until_acquire(self):
+        """Same laziness as LRC, via leases: a concurrent write does not
+        reach into the reader's cache; the copy only expires once the
+        reader's clock passes its lease at a sync point."""
+        m = Machine(cfg(2), protocol="tardis")
+        seg = m.space.alloc(4096, "d")
+
+        def writer(pid):
+            yield (COMPUTE, 5000)
+            yield (WRITE, seg.base)
+            yield (FENCE,)
+            yield (BARRIER, 0)
+            yield (BARRIER, 1)
+
+        def reader(pid):
+            yield (READ, seg.base)
+            yield (COMPUTE, 30000)
+            yield (READ, seg.base)        # still a hit: lease unexpired
+            yield (BARRIER, 0)
+            yield (READ, seg.base)        # barrier adopted writer's pts
+            yield (BARRIER, 1)
+
+        r = run(m, [writer(0), reader(1)])
+        procs = r.stats.procs
+        assert procs[1].read_misses == 2  # initial fill + post-barrier re-read
+        assert procs[1].acquire_invalidations >= 1
+        assert m.stats.lease_expirations >= 1
+
+    def test_release_timestamp_flows_through_lock(self):
+        """LOCK_RELEASE carries the releaser's clock; the next grantee
+        adopts it, expiring every copy the releaser's epoch outdated."""
+        m = Machine(cfg(2), protocol="tardis")
+        seg = m.space.alloc(4096, "d")
+
+        def writer(pid):
+            yield (ACQUIRE, 0)
+            yield (WRITE, seg.base)
+            yield (RELEASE, 0)
+            yield (BARRIER, 0)
+
+        def reader(pid):
+            yield (READ, seg.base)         # cache it early
+            yield (COMPUTE, 30000)
+            yield (ACQUIRE, 0)             # serialized after the release
+            yield (READ, seg.base)         # must miss: lease < adopted pts
+            yield (RELEASE, 0)
+            yield (BARRIER, 0)
+
+        r = run(m, [writer(0), reader(1)])
+        assert r.stats.procs[1].read_misses == 2
+        assert m.nodes[1].pts >= m.stats.ts_bumps  # clock adopted, not stale
+
+    def test_eviction_is_silent(self):
+        """No sharer bookkeeping at the home means nothing to tell it on
+        eviction — unlike every other protocol here."""
+        m = Machine(cfg(1, cache_size=4 * 128), protocol="tardis")
+        seg = m.space.alloc(8192, "d")
+
+        def prog(pid):
+            yield (READ_RUN, seg.base, 16, 128 * 4)  # conflict evictions
+            yield (FENCE,)
+
+        r = run(m, [prog(0)])
+        assert r.traffic.count[MsgType.EVICT_NOTICE] == 0
+        assert r.traffic.count[MsgType.RELINQUISH] == 0
+
+
+class TestProtocolRegistry:
+    def test_registry_is_the_single_name_table(self):
+        from repro.protocols import PROTOCOLS, REGISTRY, all_names
+
+        assert PROTOCOLS is REGISTRY
+        assert all_names() == ("sc", "erc", "lrc", "lrc-ext", "tardis")
+        for name, cls in REGISTRY.items():
+            assert cls.name == name
+
+    def test_make_protocol_rejects_unknown_name(self):
+        from repro.protocols import make_protocol
+
+        with pytest.raises(ValueError, match="unknown protocol"):
+            make_protocol("mesi", machine=None)
+
+    def test_spec_and_cli_resolve_through_registry(self, monkeypatch):
+        from repro.harness.spec import ExperimentSpec
+        from repro.protocols import REGISTRY, TardisProtocol
+
+        # A monkeypatched registry entry is immediately a valid spec
+        # protocol: there is no second name table to update.
+        monkeypatch.setitem(REGISTRY, "tardis-2", TardisProtocol)
+        spec = ExperimentSpec("gauss", "tardis-2", n_procs=2, small=True)
+        assert spec.protocol == "tardis-2"
+        with pytest.raises(ValueError, match="unknown protocol"):
+            ExperimentSpec("gauss", "mesi", n_procs=2, small=True)

@@ -3,7 +3,7 @@
 Three layers:
 
 * **differential** — the replay engine must be bit-identical to the
-  legacy generator engine: same ``RunResult.to_dict()`` across all four
+  legacy generator engine: same ``RunResult.to_dict()`` across all five
   protocols × the seven seed apps, with and without the miss
   classifier, the invariant checker, and the value model;
 * **stream cache** — a protocol sweep records each app exactly once
@@ -25,7 +25,7 @@ from repro.program import stream as stream_mod
 from repro.program.stream import RecordedStream, clear_stream_cache
 from repro.results.store import ResultStore
 
-PROTOCOLS = ("sc", "erc", "lrc", "lrc-ext")
+PROTOCOLS = ("sc", "erc", "lrc", "lrc-ext", "tardis")
 SEED_APPS = ("gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d")
 
 
@@ -100,6 +100,26 @@ class TestStreamCache:
         for proto in PROTOCOLS:
             small_spec("gauss", proto).run(engine="replay")
         assert stream_mod.RECORDINGS == start + 1
+
+    def test_memo_eviction_respects_hit_recency(self, monkeypatch):
+        # A memo hit must refresh LRU position: with cap 2, hitting A
+        # makes B the eviction victim when C arrives — not A.
+        from repro.program.stream import recorded_stream
+
+        monkeypatch.setattr(stream_mod, "_MEMO_CAP", 2)
+        clear_stream_cache()
+        c = cfg(2)
+        recorded_stream("gauss", {"n": 8}, c)   # A
+        recorded_stream("gauss", {"n": 9}, c)   # B
+        for _ in range(3):
+            recorded_stream("gauss", {"n": 8}, c)  # hit A: now MRU
+        recorded_stream("gauss", {"n": 10}, c)  # C evicts B, the LRU
+        before = stream_mod.RECORDINGS
+        recorded_stream("gauss", {"n": 8}, c)   # A: still memoized
+        assert stream_mod.RECORDINGS == before
+        recorded_stream("gauss", {"n": 9}, c)   # B: evicted, re-records
+        assert stream_mod.RECORDINGS == before + 1
+        clear_stream_cache()
 
     def test_stream_roundtrip(self):
         app = Gauss(AppContext(cfg()), n=24)

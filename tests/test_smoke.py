@@ -16,7 +16,7 @@ from repro.program.ops import (
     WRITE_RUN,
 )
 
-PROTOCOLS = ["sc", "erc", "lrc", "lrc-ext"]
+PROTOCOLS = ["sc", "erc", "lrc", "lrc-ext", "tardis"]
 
 
 def cfg(n=4, **kw):

@@ -128,6 +128,32 @@ class TestResultStore:
         assert store.clear() == 1
         assert len(store) == 0 and spec not in store
 
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path, plain_result):
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        store.save(spec, r)
+        # A worker killed between mkstemp and os.replace leaves this behind.
+        orphan = store.root / "deadbeef0123.json-abc123.tmp"
+        orphan.write_text("{ half-written")
+        assert store.clear() == 2
+        assert not orphan.exists()
+        assert list(store.root.iterdir()) == []
+
+    def test_init_sweeps_old_tmp_but_keeps_fresh_ones(self, tmp_path):
+        import os
+        import time
+
+        root = tmp_path / "rs"
+        root.mkdir()
+        stale = root / "stale.json-xyz.tmp"
+        stale.write_text("{")
+        os.utime(stale, (time.time() - 3600, time.time() - 3600))
+        fresh = root / "fresh.json-abc.tmp"
+        fresh.write_text("{")  # could be a write in flight elsewhere
+        ResultStore(root)
+        assert not stale.exists()
+        assert fresh.exists()
+
     def test_failure_records_do_not_count_as_results(self, tmp_path, plain_result):
         spec, r = plain_result
         store = ResultStore(tmp_path / "rs")
@@ -195,6 +221,22 @@ class TestRunFailureRecords:
         store.failure_path_for(self.SPEC).write_text("{ not json")
         assert store.load_failure(self.SPEC) is None
         assert store.failures() == []
+
+    def test_corrupt_record_is_skipped_with_a_warning(self, tmp_path, caplog):
+        import logging
+
+        store = ResultStore(tmp_path / "rs")
+        good = self._failure()
+        store.save_failure(self.SPEC, good)
+        other = ExperimentSpec("gauss", "sc", n_procs=4, small=True)
+        store.save_failure(other, RunFailure.from_exception(other, ValueError("y")))
+        store.failure_path_for(other).write_text("{ not json")
+        with caplog.at_level(logging.WARNING, logger="repro.results.store"):
+            assert store.failures() == [good]
+        assert any(
+            "unreadable failure record" in rec.getMessage()
+            for rec in caplog.records
+        )
 
     def test_success_supersedes_failure(self, tmp_path, plain_result):
         spec, r = plain_result
