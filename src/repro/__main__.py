@@ -8,7 +8,11 @@
     python -m repro trace locusroute --protocol sc --procs 4 --small
     python -m repro fuzz --seed 0 --iters 50 --procs 8
     python -m repro fuzz --iters 50 --faults drop=0.02,dup=0.02,delay=0.05
+    python -m repro fuzz --iters 30 --mode service
     python -m repro faults --iters 10 --rates 0.01 0.02 0.05
+    python -m repro faults --rates 0.02 --apps kvstore pubsub
+    python -m repro scenarios list
+    python -m repro scenarios run satellite_link --protocols lrc tardis
 
 ``figures`` regenerates the paper's tables and figures, fanning the
 underlying simulations out over ``--jobs`` worker processes and caching
@@ -22,7 +26,15 @@ seeded message-level fault injection (drop/dup/delay/reorder at the NIC
 boundary); the reliable-delivery layer must recover transparently, so
 the oracle comparison is unchanged and the recovery-traffic counters
 are reported.  ``faults`` sweeps fault rates across every protocol and
-tabulates failures and recovery traffic.
+tabulates failures and recovery traffic; ``--apps`` additionally runs
+named applications (e.g. the service workloads) under each swept plan
+with the invariant checker on.
+
+``scenarios`` runs the named-scenario library (DESIGN.md §13): each
+scenario is a versioned JSON document bundling an app, its parameters,
+the machine shape, and a phase-scripted fault plan; ``scenarios run``
+sweeps it across protocols and persists a summary artifact in the
+result store.
 
 ``trace`` runs one simulation with the protocol event tracer and the
 coherence-invariant checker enabled; on a violation it prints the event
@@ -256,6 +268,7 @@ def _cmd_fuzz(args) -> int:
         n_procs=args.procs,
         n_ops=args.n_ops,
         protocols=protocols,
+        mode=args.mode,
         do_minimize=args.minimize,
         jobs=args.jobs,
         window=args.window,
@@ -341,11 +354,128 @@ def _cmd_faults(args) -> int:
             ),
         )
     )
+    if args.apps:
+        bad += _faults_app_campaign(args, base, say)
     if bad:
         print(f"faults: {bad} failure(s); rerun `repro fuzz --faults ...` "
               "at the failing rate to diagnose and minimize")
         return 1
     print("faults: all runs recovered and agreed with the oracle")
+    return 0
+
+
+def _faults_app_campaign(args, base: FaultPlan, say) -> int:
+    """The ``faults --apps`` leg: each named app under each swept plan,
+    across every protocol, with the invariant checker on."""
+    from repro.harness.spec import ExperimentSpec
+    from repro.scenarios.runner import RECOVERY_COUNTERS
+
+    rows = []
+    bad = 0
+    for rate in args.rates:
+        plan = FaultPlan.from_dict(
+            {
+                **base.to_dict(),
+                "seed": args.seed,
+                "drop": rate,
+                "dup": rate,
+                "delay": min(1.0, 2 * rate),
+            }
+        )
+        for app in args.apps:
+            say(f"rate {rate:g}: {app} under [{plan.label()}] ...")
+            totals = dict.fromkeys(RECOVERY_COUNTERS, 0)
+            n_fail = 0
+            for proto in args.protocols:
+                spec = ExperimentSpec(
+                    app=app, protocol=proto, n_procs=args.procs,
+                    small=True, faults=plan, check_invariants=True,
+                )
+                try:
+                    r = spec.run()
+                except Exception as e:
+                    n_fail += 1
+                    say(f"  FAIL {spec.label()}: {type(e).__name__}: {e}")
+                    continue
+                for name in RECOVERY_COUNTERS:
+                    totals[name] += getattr(r.traffic, name, 0)
+            bad += n_fail
+            rows.append([f"{rate:g}", app, n_fail,
+                         *[totals[name] for name in RECOVERY_COUNTERS]])
+    print(
+        format_table(
+            ["rate", "app", "failures", "retransmits", "dup_drops",
+             "dropped", "duped", "delayed"],
+            rows,
+            title=(
+                f"service-app fault campaign: "
+                f"{len(args.protocols)} protocols, {args.procs} procs, "
+                f"invariant checker on"
+            ),
+        )
+    )
+    return bad
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import builtin_scenarios, load_scenario, run_scenario
+
+    say = lambda s: print(s, file=sys.stderr)
+    if args.action == "list":
+        for name, path in sorted(builtin_scenarios().items()):
+            sc = load_scenario(name)
+            faults = sc.faults.label() if sc.faults else "none"
+            print(f"{name:26s} app={sc.app:10s} procs={sc.n_procs:<3d} "
+                  f"faults[{faults}]")
+            if args.verbose:
+                print(f"    {sc.description}")
+        return 0
+    store = None if args.no_store else ResultStore(args.store_dir)
+    bad = 0
+    for name in args.names:
+        sc = load_scenario(name)
+        say(f"scenario {sc.name}: {sc.description}")
+        summary = run_scenario(
+            sc,
+            protocols=args.protocols or None,
+            n_procs=args.procs,
+            check_invariants=args.check_invariants,
+            store=store,
+            progress=say,
+        )
+        rows = []
+        base_time = None
+        for proto in summary["protocols"]:
+            row = summary["results"][proto]
+            if not row["ok"]:
+                bad += 1
+                rows.append([proto, "FAIL", row["kind"], row["message"][:40],
+                             "", "", ""])
+                continue
+            if base_time is None:
+                base_time = row["exec_time"]
+            rows.append([
+                proto,
+                row["exec_time"],
+                f"{row['exec_time'] / base_time:.3f}",
+                row["messages"],
+                row["retransmits"],
+                row["drops_injected"],
+                row["delays_injected"],
+            ])
+        print(format_table(
+            ["protocol", "cycles", "norm", "messages",
+             "retransmits", "dropped", "delayed"],
+            rows,
+            title=f"scenario {sc.name} ({sc.app}, "
+                  f"{summary['n_procs']} procs)",
+        ))
+        if store is not None:
+            say(f"summary artifact: "
+                f"{store.artifact_path_for('scenario-' + sc.name)}")
+    if bad:
+        print(f"scenarios: {bad} cell(s) failed (failure records persisted)")
+        return 1
     return 0
 
 
@@ -461,6 +591,13 @@ def main(argv=None) -> int:
         "--protocols", nargs="*", default=list(all_names()),
         choices=sorted(REGISTRY), metavar="PROTO",
     )
+    from repro.conformance.generator import MODES as FUZZ_MODES
+
+    p_fz.add_argument(
+        "--mode", default="auto", choices=FUZZ_MODES,
+        help="program-generator mode (default auto; 'service' favors "
+        "pub/sub fan-out and zipf-skewed hot-lock episodes)",
+    )
     p_fz.add_argument(
         "--minimize", action=argparse.BooleanOptionalAction, default=True,
         help="delta-debug failing programs to minimal reproducers",
@@ -519,7 +656,54 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=1,
         help="verify iterations in parallel worker processes",
     )
+    p_fl.add_argument(
+        "--apps", nargs="*", default=[], choices=sorted(APPS), metavar="APP",
+        help="also run these applications (small presets, invariant "
+        "checker on) under each swept fault plan, e.g. the service "
+        "workloads kvstore taskqueue pubsub",
+    )
     add_engine(p_fl)
+
+    p_sc = sub.add_parser(
+        "scenarios",
+        help="named scenario library: versioned JSON documents bundling "
+        "an app, machine shape, and phase-scripted fault plan",
+    )
+    sc_sub = p_sc.add_subparsers(dest="action", required=True)
+    p_sc_list = sc_sub.add_parser("list", help="list the builtin scenarios")
+    p_sc_list.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also print each scenario's description",
+    )
+    p_sc_run = sc_sub.add_parser(
+        "run", help="run scenarios across their protocol sweeps"
+    )
+    p_sc_run.add_argument(
+        "names", nargs="+", metavar="NAME",
+        help="builtin scenario names (or paths to scenario JSON files)",
+    )
+    p_sc_run.add_argument(
+        "--protocols", nargs="*", default=[],
+        choices=sorted(REGISTRY), metavar="PROTO",
+        help="restrict the sweep (default: the scenario's own list, or "
+        "every protocol)",
+    )
+    p_sc_run.add_argument(
+        "--procs", type=int, default=None,
+        help="override the scenario's machine size (CI smokes use this)",
+    )
+    p_sc_run.add_argument(
+        "--check-invariants", action="store_true", help=check_help
+    )
+    p_sc_run.add_argument(
+        "--store-dir", default=DEFAULT_ROOT,
+        help=f"result-store directory (default {DEFAULT_ROOT})",
+    )
+    p_sc_run.add_argument(
+        "--no-store", action="store_true",
+        help="do not read or write the on-disk result store",
+    )
+    add_engine(p_sc_run)
 
     args = ap.parse_args(argv)
     if getattr(args, "engine", None):
@@ -537,6 +721,8 @@ def main(argv=None) -> int:
         return _cmd_fuzz(args)
     if args.cmd == "faults":
         return _cmd_faults(args)
+    if args.cmd == "scenarios":
+        return _cmd_scenarios(args)
     return _cmd_compare(args)
 
 

@@ -1,4 +1,4 @@
-"""The paper's application suite (Section 3).
+"""The paper's application suite (Section 3), plus service workloads.
 
 Three computational kernels — :class:`Gauss`, :class:`FFT`,
 :class:`BlockedLU` — and four complete applications —
@@ -6,6 +6,13 @@ Three computational kernels — :class:`Gauss`, :class:`FFT`,
 :class:`MP3D` — all SPLASH programs re-implemented as reference-stream
 generators that execute the real algorithms' control flow (see
 DESIGN.md for the MINT-substitution rationale).
+
+Beyond the paper's suite: the randomized conformance workload
+(:class:`Fuzz`, DESIGN.md §9) and three *service-shaped* apps —
+:class:`KVStore`, :class:`TaskQueue`, :class:`PubSub` (DESIGN.md §13) —
+that model internet-service sharing patterns (zipfian key traffic,
+work stealing, publish/subscribe fan-out) rather than scientific
+kernels.
 """
 
 from repro.apps.common import App, AppContext, APPS, register
@@ -17,11 +24,18 @@ from repro.apps.cholesky import Cholesky
 from repro.apps.locusroute import LocusRoute
 from repro.apps.mp3d import MP3D
 from repro.apps.fuzz_app import Fuzz
+from repro.apps.kvstore import KVStore
+from repro.apps.taskqueue import TaskQueue
+from repro.apps.pubsub import PubSub
+
+#: The service-shaped workloads (next to the SPLASH seven).
+SERVICE_APPS = ("kvstore", "taskqueue", "pubsub")
 
 __all__ = [
     "App",
     "AppContext",
     "APPS",
+    "SERVICE_APPS",
     "register",
     "Gauss",
     "FFT",
@@ -31,4 +45,7 @@ __all__ = [
     "LocusRoute",
     "MP3D",
     "Fuzz",
+    "KVStore",
+    "TaskQueue",
+    "PubSub",
 ]

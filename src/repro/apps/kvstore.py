@@ -1,0 +1,129 @@
+"""KVStore: a sharded key-value server under zipfian client traffic.
+
+The first of the *service-shaped* workloads (DESIGN.md §13): where the
+SPLASH seven model scientific kernels — lock rounds, producer/consumer
+pipelines, barrier phases — an internet service is a storm of small
+independent requests whose key popularity follows a power law.  Each
+processor is one client thread of a sharded in-memory store:
+
+* the key space is split across ``shards`` shard locks (key → shard by
+  a seeded permutation, so hot keys spread across shards);
+* every request acquires its shard's lock, read-modify-writes the shard
+  header (the LRU/stats word every real store touches per op), then
+  reads (GET) or read-modify-writes (PUT) the value words of the record;
+* keys are drawn from a zipfian distribution with exponent ``theta`` —
+  a handful of hot keys absorb most of the traffic, which is precisely
+  the high-sharing, invalidation-heavy pattern where eager protocols
+  pay fan-out per write and timestamp coherence (tardis) claims to win;
+* records are packed (not line-aligned), so neighbouring keys falsely
+  share cache lines like real slab allocators do.
+
+All request sequences are materialized in ``setup`` from the app's
+seeded rng, so the reference streams are a pure function of
+``(config.seed, params)`` — identical seeds give identical request
+streams, stream fingerprints, and RunResults.
+
+Synchronization discipline: every shared access happens between the
+shard lock's acquire and release, so the program is data-race-free and
+safe for the invariant checker under all five protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.apps.common import App, register
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    READ_RUN,
+    RELEASE,
+    RW_RUN,
+    WRITE_RUN,
+)
+
+
+def zipf_cdf(n: int, theta: float) -> np.ndarray:
+    """Cumulative distribution of a zipfian(theta) law over ranks 0..n-1."""
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
+    cdf = np.cumsum(weights)
+    return cdf / cdf[-1]
+
+
+@register
+class KVStore(App):
+    name = "kvstore"
+
+    def setup(
+        self,
+        n_keys: int = 256,
+        shards: int = 8,
+        ops: int = 96,
+        theta: float = 0.9,
+        read_frac: float = 0.9,
+        val_words: int = 4,
+        think: int = 12,
+    ) -> None:
+        """``ops`` requests per client; ``theta`` is the zipf exponent
+        (0.9 ≈ the YCSB default); ``read_frac`` the GET fraction."""
+        if shards < 1 or n_keys < shards:
+            raise ValueError("need at least one key per shard")
+        self.n_keys = n_keys
+        self.n_shards = shards
+        self.val_words = val_words
+        self.think = think
+        rng = self.rng
+        # Popularity rank -> key id: a seeded permutation scatters the
+        # hot ranks across the shard space.
+        self.key_of_rank = rng.permutation(n_keys)
+        cdf = zipf_cdf(n_keys, theta)
+        # Shard headers: one line each (version/stat word at the base),
+        # so shard metadata never falsely shares between shards.
+        line = self.cfg.line_size
+        self.headers = self.space.alloc(shards * line, "kv.headers")
+        self.header_stride = line
+        # The record heap: packed val_words-word records, deliberately
+        # not line-aligned (slab-style false sharing between neighbours).
+        self.records = self.space.alloc(n_keys * val_words * 8, "kv.records")
+        self.shard_lock = self.lock_id(shards)
+        self.load_barrier = self.barrier_id()
+        self.end_barrier = self.barrier_id()
+        # Materialize every client's request tape now: (key, is_get).
+        self.requests: List[List[Tuple[int, bool]]] = []
+        for _pid in range(self.n_procs):
+            ranks = np.searchsorted(cdf, rng.random(ops))
+            gets = rng.random(ops) < read_frac
+            self.requests.append(
+                [(int(self.key_of_rank[r]), bool(g)) for r, g in zip(ranks, gets)]
+            )
+
+    def shard_of(self, key: int) -> int:
+        return key % self.n_shards
+
+    def record_addr(self, key: int) -> int:
+        return self.records.base + key * self.val_words * 8
+
+    def header_addr(self, shard: int) -> int:
+        return self.headers.base + shard * self.header_stride
+
+    def program(self, pid: int) -> Iterator:
+        # Load phase: each client populates its blocked share of the key
+        # space, then a barrier publishes the initial image.
+        for key in self.blocked(self.n_keys, pid):
+            yield (WRITE_RUN, self.record_addr(key), self.val_words, 8)
+        yield (BARRIER, self.load_barrier)
+        for key, is_get in self.requests[pid]:
+            shard = self.shard_of(key)
+            yield (ACQUIRE, self.shard_lock + shard)
+            # Shard header: version bump / stats, written by every op.
+            yield (RW_RUN, self.header_addr(shard), 1, 8)
+            if is_get:
+                yield (READ_RUN, self.record_addr(key), self.val_words, 8)
+            else:
+                yield (RW_RUN, self.record_addr(key), self.val_words, 8)
+            yield (RELEASE, self.shard_lock + shard)
+            yield (COMPUTE, self.think)
+        yield (BARRIER, self.end_barrier)

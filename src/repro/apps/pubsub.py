@@ -1,0 +1,115 @@
+"""PubSub: topic-based publish/subscribe fan-out (service-shaped).
+
+The third service workload (DESIGN.md §13): publishers append messages
+to per-topic rings and flag-signal them; subscribers wait on the flag
+and read the message.  Topic popularity is zipfian — hot topics carry
+most subscribers — so one release-time write fans out to many readers:
+
+* under eager protocols every publish invalidates every subscriber's
+  cached copy of the ring line and each re-read is a fresh miss at the
+  publisher (the 1-writer-N-reader broadcast the paper's flag analysis
+  covers);
+* under tardis the publish is one timestamp bump with *no* fan-out and
+  subscribers self-expire at their acquire — the exact asymmetry the
+  sc-vs-lazy-vs-tardis crossover question is about.
+
+Each ``(topic, message)`` pair has its own flag: ``SET_FLAG`` is a
+release (the message body performs first), ``WAIT_FLAG`` an acquire,
+and flags stay set, so subscribers may arrive long after the publish.
+Every program emits its publishes before its subscriptions, so no
+wait-cycle exists and the run cannot deadlock.  A message slot is
+written exactly once, by its topic's single publisher, before the flag
+set that every reader waits on — data-race-free by construction.
+
+All fan-out choices (which processors subscribe to which topics) are
+drawn in ``setup`` from the app's seeded rng: same seed, same streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.apps.common import App, register
+from repro.program.ops import (
+    BARRIER,
+    COMPUTE,
+    READ_RUN,
+    SET_FLAG,
+    WAIT_FLAG,
+    WRITE_RUN,
+)
+
+
+@register
+class PubSub(App):
+    name = "pubsub"
+
+    def setup(
+        self,
+        topics: int = 8,
+        messages: int = 8,
+        msg_words: int = 8,
+        theta: float = 0.8,
+        min_subs: int = 1,
+        think: int = 10,
+    ) -> None:
+        """``messages`` per topic; subscriber counts follow a
+        zipfian(theta) popularity law over topics (every topic keeps at
+        least ``min_subs`` subscribers)."""
+        self.n_topics = topics
+        self.n_msgs = messages
+        self.msg_words = msg_words
+        self.think = think
+        rng = self.rng
+        # Ring storage: topic-major, packed message slots.
+        self.rings = self.space.alloc(
+            topics * messages * msg_words * 8, "ps.rings"
+        )
+        self.msg_flag = self.flag_id(topics * messages)
+        self.end_barrier = self.barrier_id()
+        # Fan-out: the publisher of topic k is processor k mod P; the
+        # subscriber count decays zipf-style with topic rank, and the
+        # subscribers themselves are a seeded sample of the other procs.
+        self.publisher = [k % self.n_procs for k in range(topics)]
+        self.subscribers: List[List[int]] = []
+        avail = max(1, self.n_procs - 1)
+        for k in range(topics):
+            weight = 1.0 / float(k + 1) ** theta
+            n_subs = min(avail, max(min_subs, int(round(weight * avail))))
+            others = np.array(
+                [p for p in range(self.n_procs) if p != self.publisher[k]]
+                or [self.publisher[k]]
+            )
+            subs = rng.choice(others, size=min(n_subs, len(others)), replace=False)
+            self.subscribers.append(sorted(int(s) for s in subs))
+
+    def slot_addr(self, topic: int, msg: int) -> int:
+        return self.rings.base + (topic * self.n_msgs + msg) * self.msg_words * 8
+
+    def flag_of(self, topic: int, msg: int) -> int:
+        return self.msg_flag + topic * self.n_msgs + msg
+
+    def program(self, pid: int) -> Iterator:
+        # Publish everything I own first (flags persist, so subscribers
+        # may trail arbitrarily; publish-before-subscribe means no
+        # wait-for cycle between processors is possible).
+        for topic in range(self.n_topics):
+            if self.publisher[topic] != pid:
+                continue
+            for msg in range(self.n_msgs):
+                yield (WRITE_RUN, self.slot_addr(topic, msg), self.msg_words, 8)
+                yield (SET_FLAG, self.flag_of(topic, msg))
+                yield (COMPUTE, self.think)
+        # Consume my subscriptions, round-robin across topics (message 0
+        # of every topic, then message 1, ...): an interleaved delivery
+        # loop like a real subscriber event loop.
+        for msg in range(self.n_msgs):
+            for topic in range(self.n_topics):
+                if pid not in self.subscribers[topic]:
+                    continue
+                yield (WAIT_FLAG, self.flag_of(topic, msg))
+                yield (READ_RUN, self.slot_addr(topic, msg), self.msg_words, 8)
+                yield (COMPUTE, self.think)
+        yield (BARRIER, self.end_barrier)

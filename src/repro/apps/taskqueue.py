@@ -1,0 +1,114 @@
+"""TaskQueue: a work-stealing task pool (service-shaped workload).
+
+The second service workload (DESIGN.md §13): a fixed batch of tasks is
+produced into per-processor deques, and workers drain their own queue
+before stealing from victims — the scheduling substrate of every
+thread-pool-backed service.  The coherence traffic it stresses is
+different from both the SPLASH kernels and the KV store:
+
+* queue headers are small, hot, multi-writer words protected by
+  per-queue locks — thieves hammer a victim's header from across the
+  machine (lock + line ping-pong);
+* task payloads written by the *producer* are consumed by whichever
+  worker pops the task; stolen tasks make that a producer→thief
+  migratory transfer, the pattern the paper's migratory analysis and
+  Tardis's lease renewal both care about.
+
+Because apps are reference-stream generators, the steal schedule is
+decided ahead of time from the app's seeded rng (``steal_frac`` of the
+tasks execute on a processor other than their home): the *traffic
+shape* of stealing — remote queue pops, migratory payloads — is
+preserved while the run stays deterministic and replayable.  Every
+queue pop happens under that queue's lock and every payload is written
+before the ``produce`` barrier and executed by exactly one worker after
+it, so the program is data-race-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.apps.common import App, register
+from repro.program.ops import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    RELEASE,
+    RW_RUN,
+    WRITE_RUN,
+)
+
+
+@register
+class TaskQueue(App):
+    name = "taskqueue"
+
+    def setup(
+        self,
+        tasks: int = 128,
+        task_words: int = 8,
+        steal_frac: float = 0.25,
+        work: int = 40,
+    ) -> None:
+        """``tasks`` total tasks (homes assigned cyclically);
+        ``steal_frac`` of them run on a random non-home worker."""
+        if tasks < self.n_procs:
+            raise ValueError("need at least one task per processor")
+        self.n_tasks = tasks
+        self.task_words = task_words
+        self.work = work
+        rng = self.rng
+        line = self.cfg.line_size
+        # Per-queue header line (head/tail/count words) + per-queue lock.
+        self.qheaders = self.space.alloc(self.n_procs * line, "tq.queues")
+        self.qstride = line
+        self.qlock = self.lock_id(self.n_procs)
+        # Packed task payloads (task descriptors + arguments).
+        self.taskdata = self.space.alloc(tasks * task_words * 8, "tq.tasks")
+        self.produce_barrier = self.barrier_id()
+        self.end_barrier = self.barrier_id()
+        # The steal schedule: executor[t] == home for local pops, else a
+        # seeded thief.  Executor lists keep each worker's pop order
+        # interleaved home-first, steals last (drain-then-steal).
+        self.executor: List[int] = []
+        for t in range(tasks):
+            home = t % self.n_procs
+            if self.n_procs > 1 and rng.random() < steal_frac:
+                thief = int(rng.integers(0, self.n_procs - 1))
+                self.executor.append(thief if thief < home else thief + 1)
+            else:
+                self.executor.append(home)
+        self.my_tasks: List[List[int]] = [[] for _ in range(self.n_procs)]
+        for t in range(tasks):
+            self.my_tasks[self.executor[t]].append(t)
+        # Local work first, steals afterwards, like a real deque drain.
+        for pid in range(self.n_procs):
+            self.my_tasks[pid].sort(
+                key=lambda t: (0 if t % self.n_procs == pid else 1, t)
+            )
+
+    def qheader_addr(self, q: int) -> int:
+        return self.qheaders.base + q * self.qstride
+
+    def task_addr(self, t: int) -> int:
+        return self.taskdata.base + t * self.task_words * 8
+
+    def program(self, pid: int) -> Iterator:
+        # Produce: each home writes its tasks' payloads and (under its
+        # own lock) publishes them on its queue header.
+        for t in range(pid, self.n_tasks, self.n_procs):
+            yield (WRITE_RUN, self.task_addr(t), self.task_words, 8)
+            yield (ACQUIRE, self.qlock + pid)
+            yield (RW_RUN, self.qheader_addr(pid), 2, 8)  # tail++, count++
+            yield (RELEASE, self.qlock + pid)
+        yield (BARRIER, self.produce_barrier)
+        # Execute: pop each assigned task from its *home* queue (lock +
+        # header update — remote for stolen tasks), then run it.
+        for t in self.my_tasks[pid]:
+            home = t % self.n_procs
+            yield (ACQUIRE, self.qlock + home)
+            yield (RW_RUN, self.qheader_addr(home), 2, 8)  # head++, count--
+            yield (RELEASE, self.qlock + home)
+            yield (RW_RUN, self.task_addr(t), self.task_words, 8)
+            yield (COMPUTE, self.work)
+        yield (BARRIER, self.end_barrier)

@@ -16,7 +16,7 @@ from repro.conformance.fuzz import (
     verify_run,
     write_reproducers,
 )
-from repro.conformance.generator import generate
+from repro.conformance.generator import MODES, generate
 from repro.conformance.minimize import minimize
 from repro.conformance.oracle import OracleResult, interpret
 from repro.conformance.program import ProgramSpec, Unit, materialize
@@ -25,6 +25,7 @@ from repro.conformance.shadow import ConformanceViolation, ValueModel
 __all__ = [
     "ConformanceViolation",
     "FuzzFailure",
+    "MODES",
     "OracleResult",
     "PROTOCOLS_UNDER_TEST",
     "ProgramSpec",

@@ -24,7 +24,16 @@ sequential consistency — Section 2 of the paper):
   total order — this is the paper's migratory-sharing pattern;
 * **barrier phases**: double-buffered halves — in each round every
   processor writes its cyclic share of one half and reads the other
-  half (written in the previous round, on the far side of a barrier).
+  half (written in the previous round, on the far side of a barrier);
+* **fan-out**: one publisher writes a region then sets a single flag;
+  several subscribers wait on that flag and read the region — the
+  pub/sub sharing pattern of the service workloads (one release
+  observed by many acquirers);
+* **hot locks**: lock rounds where the lock is chosen with a zipfian
+  skew, concentrating contention on one or two "hot shard" locks the
+  way service key traffic does.
+
+The ``service`` mode composes mostly fan-out and hot-lock episodes.
 
 Regions that admit multiple writers (chain regions) are recycled only
 after an intervening global barrier, so accesses from different
@@ -42,14 +51,30 @@ from repro.conformance.program import ProgramSpec, Unit
 
 #: Episode weights for the "mixed" mode.
 _MIX = (
-    ("private", 0.25),
-    ("lock", 0.30),
-    ("chain", 0.20),
-    ("phase", 0.15),
+    ("private", 0.20),
+    ("lock", 0.28),
+    ("chain", 0.18),
+    ("phase", 0.14),
+    ("fanout", 0.10),
     ("barrier", 0.10),
 )
 
-_AUTO_MODES = ("mixed", "mixed", "mixed", "migratory", "phases", "producer")
+#: Episode weights for the "service" mode (internet-service sharing:
+#: pub/sub fan-out plus zipf-skewed lock contention).
+_SERVICE_MIX = (
+    ("fanout", 0.35),
+    ("hotlock", 0.35),
+    ("private", 0.15),
+    ("phase", 0.10),
+    ("barrier", 0.05),
+)
+
+_AUTO_MODES = (
+    "mixed", "mixed", "mixed", "migratory", "phases", "producer", "service",
+)
+
+#: Modes accepted by :func:`generate` (and the ``fuzz --mode`` CLI).
+MODES = ("auto", "mixed", "migratory", "phases", "producer", "service")
 
 
 class _Layout:
@@ -154,9 +179,10 @@ class _Gen:
             ops[p] = plist
         self.units.append(Unit("private", ops))
 
-    def lock_episode(self) -> None:
+    def lock_episode(self, k=None) -> None:
         rng = self.rng
-        k = rng.randrange(self.lay.n_locks)
+        if k is None:
+            k = rng.randrange(self.lay.n_locks)
         lo, hi = self.lay.lock_regions[k]
         subset = rng.sample(range(self.P), rng.randint(2, self.P))
         for _round in range(rng.randint(1, 2)):
@@ -218,6 +244,43 @@ class _Gen:
         ring = [i % self.P for i in range(rounds * self.P)]
         self.chain_episode(procs_seq=ring, accesses=(2, 4))
 
+    def fanout_episode(self) -> None:
+        """One publisher, many subscribers, one flag (pub/sub pattern).
+
+        The publisher alone writes the region before setting the flag;
+        every subscriber reads only after waiting on it, so the single
+        release→many-acquires edge makes the episode DRF.
+        """
+        rng = self.rng
+        lo, hi = self._pick_chain_region()
+        pub = rng.randrange(self.P)
+        others = [p for p in range(self.P) if p != pub]
+        subs = rng.sample(others, rng.randint(1, len(others)))
+        flag = self._fid()
+        body: List[list] = []
+        for _ in range(rng.randint(2, 4)):
+            body.append(["write", rng.randrange(lo, hi)])
+        body.append(["set_flag", flag])
+        self.units.append(Unit("pub", {pub: body}))
+        for p in subs:
+            sub_body: List[list] = [["wait_flag", flag]]
+            for _ in range(rng.randint(1, 3)):
+                sub_body.append(["read", rng.randrange(lo, hi)])
+            self.units.append(Unit("sub", {p: sub_body}))
+
+    def hotlock_episode(self, theta: float = 1.2) -> None:
+        """A lock round with zipf-skewed lock choice (hot-shard pattern)."""
+        rng = self.rng
+        weights = [1.0 / (k + 1) ** theta for k in range(self.lay.n_locks)]
+        total = sum(weights)
+        r = rng.random() * total
+        acc = 0.0
+        for k, w in enumerate(weights):
+            acc += w
+            if r < acc:
+                break
+        self.lock_episode(k=k)
+
     # -- top level --------------------------------------------------------------
 
     def build(self) -> ProgramSpec:
@@ -240,11 +303,12 @@ class _Gen:
                 self.chain_episode()
                 if rng.random() < 0.4:
                     self.private_episode()
-        else:  # mixed
+        else:  # mixed / service: weighted episode draws
+            mix = _SERVICE_MIX if mode == "service" else _MIX
             while self.op_total() < budget:
                 r = rng.random()
                 acc = 0.0
-                for kind, w in _MIX:
+                for kind, w in mix:
                     acc += w
                     if r < acc:
                         break
@@ -252,10 +316,14 @@ class _Gen:
                     self.private_episode()
                 elif kind == "lock":
                     self.lock_episode()
+                elif kind == "hotlock":
+                    self.hotlock_episode()
                 elif kind == "chain":
                     self.chain_episode()
                 elif kind == "phase":
                     self.phase_episode(rounds=1)
+                elif kind == "fanout":
+                    self.fanout_episode()
                 else:
                     self.barrier_unit()
         self.barrier_unit()
@@ -283,6 +351,8 @@ def generate(
     """
     if n_procs < 2:
         raise ValueError("conformance programs need at least 2 processors")
+    if mode not in MODES:
+        raise ValueError(f"unknown generator mode {mode!r} (expected one of {MODES})")
     g = _Gen(seed, n_procs, n_ops, mode, wpl)
     spec = g.build()
     spec.seed = seed

@@ -4,7 +4,9 @@ Public surface:
 
 * :class:`FaultPlan` — seeded, JSON round-trippable description of an
   adversarial-delivery scenario (drop/dup/delay/reorder rates, burst
-  windows, (src, dst, channel) filter, recovery tuning);
+  windows, (src, dst, channel) filter, recovery tuning), optionally
+  phase-scripted via :class:`FaultPhase` cycle windows (good→bad→good
+  link behaviour, driven by the scenario library);
 * :class:`FaultInjector` — the deterministic per-message fault oracle;
 * :class:`ReliableFabric` — the NIC-boundary recovery layer (sequence
   numbers, dedup, in-order delivery, ack/retransmit with backoff) that
@@ -17,7 +19,7 @@ are off, nothing in this package touches the simulation hot path.
 """
 
 from repro.faults.inject import Decision, FaultInjector
-from repro.faults.plan import CHANNELS, FaultPlan
+from repro.faults.plan import CHANNELS, FaultPhase, FaultPlan
 from repro.faults.watchdog import (
     DEFAULT_STALL_CYCLES,
     ENV_STALL_CYCLES,
@@ -31,6 +33,7 @@ __all__ = [
     "Decision",
     "ENV_STALL_CYCLES",
     "FaultInjector",
+    "FaultPhase",
     "FaultPlan",
     "SimulationStall",
     "StallWatchdog",

@@ -48,24 +48,37 @@ class FaultInjector:
         """The fate of one transmission injected at time ``t``.
 
         Messages outside the plan's (src, dst, channel) filter are
-        always clean.  Inside a burst window every rate is multiplied
-        by ``burst_mult`` (clamped to 1.0).
+        always clean.  The effective rates are the plan's base rates or,
+        inside a scripted phase window, that phase's rates
+        (:meth:`FaultPlan.rates_at`); inside a burst window whichever
+        set is live is multiplied by ``burst_mult`` (clamped to 1.0).
         """
         plan = self.plan
         if not plan.matches(src, dst, channel):
             return _CLEAN
+        if plan.phases:
+            drop, dup_rate, delay, reorder = plan.rates_at(t)
+        else:
+            drop, dup_rate, delay, reorder = (
+                plan.drop, plan.dup, plan.delay, plan.reorder,
+            )
+        if not (drop or dup_rate or delay or reorder):
+            # A scripted calm window consumes no randomness, so the
+            # fault schedule inside the faulty windows is independent
+            # of how much clean traffic flowed between them.
+            return _CLEAN
         rng = self.rng
         mult = plan.burst_mult if plan.in_burst(t) else 1.0
-        if rng.random() < min(1.0, plan.drop * mult):
+        if rng.random() < min(1.0, drop * mult):
             # A dropped message needs no further decisions; still a
             # single decision point so schedules shift minimally.
             return Decision(drop=True)
-        dup = rng.random() < min(1.0, plan.dup * mult)
+        dup = rng.random() < min(1.0, dup_rate * mult)
         extra = 0
         if plan.delay_cycles:
-            if plan.delay and rng.random() < min(1.0, plan.delay * mult):
+            if delay and rng.random() < min(1.0, delay * mult):
                 extra += rng.randint(1, plan.delay_cycles)
-            if plan.reorder and rng.random() < min(1.0, plan.reorder * mult):
+            if reorder and rng.random() < min(1.0, reorder * mult):
                 extra += rng.randint(1, plan.delay_cycles)
         if not dup and not extra:
             return _CLEAN

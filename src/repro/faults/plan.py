@@ -9,6 +9,15 @@ JSON round-trippable — and, like everything else that changes simulated
 numbers, it is part of ``ExperimentSpec.fingerprint()`` so faulty and
 fault-free runs never share a result-store slot.
 
+Plans can additionally be *phase-scripted*: a tuple of
+:class:`FaultPhase` windows, each a ``[start, end)`` range of simulated
+cycles with its own absolute rates.  Inside a phase window the phase's
+rates replace the plan's base rates entirely, which is how the scenario
+library (:mod:`repro.scenarios`) scripts good→bad→good link behaviour —
+base rates describe the good link, phases describe the outages.  Phase
+windows must be sorted and non-overlapping so the effective rate at any
+cycle is unambiguous.
+
 Determinism: all randomness is drawn from one ``random.Random(seed)``
 stream owned by the injector, and the simulator consults it in a fixed
 event order, so the same (program, plan) pair always produces the same
@@ -17,11 +26,63 @@ fault schedule bit for bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
 
 #: Channel names accepted by :attr:`FaultPlan.channel`.
 CHANNELS = ("ctl", "data")
+
+
+@dataclass(frozen=True)
+class FaultPhase:
+    """One scripted window of the fault schedule.
+
+    ``start``/``end`` bound the window in simulated cycles
+    (``start <= t < end``); the four rates are *absolute* per-message
+    probabilities that replace the plan's base rates for the window's
+    duration.  An all-zero phase is a scripted calm (useful to carve a
+    known-good window out of an otherwise-faulty run).
+    """
+
+    start: int
+    end: int
+    drop: float = 0.0
+    dup: float = 0.0
+    delay: float = 0.0
+    reorder: float = 0.0
+
+    RATE_FIELDS = ("drop", "dup", "delay", "reorder")
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"phase start must be >= 0, got {self.start!r}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"phase window must satisfy start < end, got "
+                f"[{self.start!r}, {self.end!r})"
+            )
+        for name in self.RATE_FIELDS:
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"phase {name} rate must be in [0, 1], got {v!r}")
+
+    def covers(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+    @property
+    def active(self) -> bool:
+        return any(getattr(self, name) > 0.0 for name in self.RATE_FIELDS)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultPhase":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPhase fields: {sorted(unknown)}")
+        return cls(**d)
 
 
 @dataclass(frozen=True)
@@ -61,11 +122,23 @@ class FaultPlan:
     channel: Optional[str] = None
     rto: int = 0
     max_retries: int = 12
+    phases: Tuple[FaultPhase, ...] = field(default=())
 
     #: Fields that are per-message probabilities.
     RATE_FIELDS = ("drop", "dup", "delay", "reorder")
 
     def __post_init__(self) -> None:
+        phases = tuple(
+            p if isinstance(p, FaultPhase) else FaultPhase.from_dict(p)
+            for p in self.phases
+        )
+        object.__setattr__(self, "phases", phases)
+        for prev, cur in zip(phases, phases[1:]):
+            if cur.start < prev.end:
+                raise ValueError(
+                    f"phase windows must be sorted and non-overlapping: "
+                    f"[{prev.start}, {prev.end}) then [{cur.start}, {cur.end})"
+                )
         for name in self.RATE_FIELDS:
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
@@ -94,9 +167,27 @@ class FaultPlan:
         A zero-rate plan is inert: the machine then uses the plain
         fabric, so cycle counts and traffic are bit-identical to a
         no-faults run (the zero-overhead-off guarantee, mirroring the
-        tracer's ``if tracer is not None`` pattern).
+        tracer's ``if tracer is not None`` pattern).  A phase script
+        whose every window is also zero-rate is equally inert — scripted
+        calm over a calm link changes nothing.
         """
-        return any(getattr(self, name) > 0.0 for name in self.RATE_FIELDS)
+        return any(
+            getattr(self, name) > 0.0 for name in self.RATE_FIELDS
+        ) or any(p.active for p in self.phases)
+
+    def rates_at(self, t: int) -> Tuple[float, float, float, float]:
+        """Effective (drop, dup, delay, reorder) rates at cycle ``t``.
+
+        Inside a phase window the phase's rates apply; outside every
+        window the base rates do.  Burst multiplication (``in_burst``)
+        is applied by the injector on top of whichever set is live.
+        """
+        for p in self.phases:
+            if p.start > t:
+                break  # sorted: no later phase can cover t
+            if t < p.end:
+                return (p.drop, p.dup, p.delay, p.reorder)
+        return (self.drop, self.dup, self.delay, self.reorder)
 
     def matches(self, src: int, dst: int, channel: str) -> bool:
         return (
@@ -111,7 +202,15 @@ class FaultPlan:
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        # A phase-free plan serializes exactly as it did before phases
+        # existed: old stored plans round-trip, and the spec fingerprint
+        # of every pre-existing faulted experiment is unchanged.
+        if not self.phases:
+            del d["phases"]
+        else:
+            d["phases"] = [p.to_dict() for p in self.phases]
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "FaultPlan":
@@ -138,6 +237,12 @@ class FaultPlan:
                 raise ValueError(f"bad fault spec {part!r} (expected key=value)")
             key, _, raw = part.partition("=")
             key = key.strip()
+            if key == "phases":
+                raise ValueError(
+                    "phase scripts cannot be written in the CLI "
+                    "mini-language; use a scenario JSON document "
+                    "(repro scenarios) instead"
+                )
             if key not in types:
                 raise ValueError(
                     f"unknown fault field {key!r} "
@@ -172,6 +277,8 @@ class FaultPlan:
             for name in self.RATE_FIELDS
             if getattr(self, name) > 0.0
         ]
+        if self.phases:
+            parts.append(f"phases={len(self.phases)}")
         if self.seed:
             parts.append(f"seed={self.seed}")
         return ",".join(parts) or "inert"

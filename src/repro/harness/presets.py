@@ -30,6 +30,12 @@ APP_PRESETS = {
     "locusroute": dict(width=256, height=48, wires=384, passes=2),  # paper: Primary2
     "mp3d": dict(particles=4096, steps=4, cells=4096),  # paper: 40000 x 10
     "fuzz": dict(n_ops=120, mode="auto"),     # conformance fuzzer (DESIGN.md §9)
+    # Service-shaped workloads (DESIGN.md §13): internet-service sharing
+    # patterns rather than scientific kernels.
+    "kvstore": dict(n_keys=512, shards=16, ops=192, theta=0.9,
+                    read_frac=0.9, val_words=4),
+    "taskqueue": dict(tasks=512, task_words=8, steal_frac=0.25, work=40),
+    "pubsub": dict(topics=16, messages=12, msg_words=8, theta=0.8),
 }
 
 #: Smaller variants for quick runs / tests of the harness itself.
@@ -42,6 +48,10 @@ APP_PRESETS_SMALL = {
     "locusroute": dict(width=64, height=16, wires=64, passes=1),
     "mp3d": dict(particles=512, steps=2, cells=256),
     "fuzz": dict(n_ops=48, mode="auto"),
+    "kvstore": dict(n_keys=96, shards=4, ops=48, theta=0.9,
+                    read_frac=0.9, val_words=4),
+    "taskqueue": dict(tasks=96, task_words=8, steal_frac=0.25, work=24),
+    "pubsub": dict(topics=6, messages=4, msg_words=8, theta=0.8),
 }
 
 APP_ORDER = ["barnes", "blu", "cholesky", "fft", "gauss", "locusroute", "mp3d"]

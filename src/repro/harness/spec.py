@@ -78,6 +78,13 @@ class ExperimentSpec:
     plan is part of equality, hashing and :meth:`fingerprint`; a spec
     without faults fingerprints exactly as it did before the fault
     subsystem existed, keeping old result stores warm.
+
+    ``params`` holds *application*-parameter overrides applied on top of
+    the preset selected by ``small`` (the scenario library uses this to
+    size workloads without minting new presets).  Like ``overrides`` it
+    is normalized to a sorted tuple of pairs; like ``faults`` it is part
+    of the fingerprint only when non-empty, so every pre-existing spec
+    fingerprints unchanged.
     """
 
     app: str
@@ -88,6 +95,7 @@ class ExperimentSpec:
     small: bool = False
     overrides: Tuple[Tuple[str, Any], ...] = field(default=())
     faults: Optional[FaultPlan] = None
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
     check_invariants: bool = field(default=False, compare=False)
 
     #: ``to_dict`` keys that do not affect the simulated numbers and are
@@ -100,6 +108,12 @@ class ExperimentSpec:
             over = over.items()
         object.__setattr__(
             self, "overrides", tuple(sorted((str(k), v) for k, v in over))
+        )
+        par = self.params
+        if isinstance(par, dict):
+            par = par.items()
+        object.__setattr__(
+            self, "params", tuple(sorted((str(k), v) for k, v in par))
         )
         object.__setattr__(self, "faults", FaultPlan.coerce(self.faults))
         if self.kind not in MACHINE_KINDS:
@@ -131,7 +145,9 @@ class ExperimentSpec:
     def app_params(self) -> Dict[str, Any]:
         from repro.harness.presets import APP_PRESETS, APP_PRESETS_SMALL
 
-        return dict((APP_PRESETS_SMALL if self.small else APP_PRESETS)[self.app])
+        base = dict((APP_PRESETS_SMALL if self.small else APP_PRESETS)[self.app])
+        base.update(self.params)
+        return base
 
     def with_(self, **changes) -> "ExperimentSpec":
         """A copy with the given fields replaced."""
@@ -155,9 +171,12 @@ class ExperimentSpec:
         }
         # A fault-free spec fingerprints exactly as it did before the
         # ``faults`` field existed, so pinned fingerprints and old
-        # result stores stay valid.
+        # result stores stay valid; likewise a spec without app-param
+        # overrides fingerprints as it did before ``params`` existed.
         if d.get("faults") is None:
             d.pop("faults", None)
+        if not d.get("params"):
+            d.pop("params", None)
         canon = json.dumps(
             {"spec_version": SPEC_VERSION, **d},
             sort_keys=True,
@@ -175,6 +194,7 @@ class ExperimentSpec:
             "small": self.small,
             "overrides": [[k, v] for k, v in self.overrides],
             "faults": self.faults.to_dict() if self.faults is not None else None,
+            "params": [[k, v] for k, v in self.params],
             "check_invariants": self.check_invariants,
         }
 
@@ -189,17 +209,20 @@ class ExperimentSpec:
             small=d["small"],
             overrides=tuple((k, v) for k, v in d["overrides"]),
             faults=d.get("faults"),
+            params=tuple((k, v) for k, v in d.get("params", ())),
             check_invariants=d.get("check_invariants", False),
         )
 
     def label(self) -> str:
         """Short human-readable tag for logs and progress lines."""
         extra = "".join(f" {k}={v}" for k, v in self.overrides)
+        pextra = "".join(f" {k}={v}" for k, v in self.params)
         return (
             f"{self.app}/{self.protocol}/{self.kind} p={self.n_procs}"
             + (" classify" if self.classify else "")
             + (" small" if self.small else "")
             + extra
+            + pextra
             + (f" faults[{self.faults.label()}]" if self.faults else "")
         )
 

@@ -11,6 +11,9 @@ Layout (``.repro-results/`` by default)::
                                  (app, params, stream-config) — the
                                  record phase's output, reused by every
                                  replay that shares the key
+        <name>.artifact.json     named summary artifacts (e.g. a
+                                 scenario run's per-protocol summary),
+                                 keyed by name rather than fingerprint
 
 Each file holds a schema-versioned envelope::
 
@@ -274,6 +277,39 @@ class ResultStore:
                 continue
         return out
 
+    # -- named summary artifacts ----------------------------------------------
+
+    def artifact_path_for(self, name: str) -> Path:
+        return self.root / f"{name}.artifact.json"
+
+    def save_artifact(self, name: str, payload: dict) -> Path:
+        """Atomically persist a named summary artifact.
+
+        Unlike results, artifacts are keyed by *name*, not fingerprint:
+        they are derived documents (e.g. a scenario run's per-protocol
+        summary, ``scenario-<name>.artifact.json``) whose inputs are
+        already fingerprint-cached individually.  Last-writer-wins, like
+        every other store write.
+        """
+        return self._atomic_write(
+            self.artifact_path_for(name),
+            {"schema": SCHEMA_VERSION, "name": name, "artifact": payload},
+        )
+
+    def load_artifact(self, name: str) -> Optional[dict]:
+        """The stored artifact payload for ``name``, or None on any miss."""
+        try:
+            with open(self.artifact_path_for(name)) as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            if payload["schema"] != SCHEMA_VERSION:
+                return None
+            return payload["artifact"]
+        except (KeyError, TypeError):
+            return None
+
     # -- recorded streams ------------------------------------------------------
 
     def stream_path_for(self, key: str) -> Path:
@@ -317,13 +353,15 @@ class ResultStore:
     # -- maintenance ----------------------------------------------------------
 
     def __len__(self) -> int:
-        """Number of stored *results* (failure records not included)."""
+        """Number of stored *results* (failure records and named
+        artifacts not included)."""
         if not self.root.is_dir():
             return 0
         return sum(
             1
             for p in self.root.glob("*.json")
             if not p.name.endswith(FAILURE_SUFFIX)
+            and not p.name.endswith(".artifact.json")
         )
 
     def clear(self) -> int:

@@ -1,0 +1,32 @@
+"""The scenario library: named, versioned experiment stories.
+
+A scenario is one JSON document bundling an application, its
+parameters, the machine shape, the protocol sweep, and a (usually
+phase-scripted) fault plan — runnable by name::
+
+    python -m repro scenarios list
+    python -m repro scenarios run satellite_link --protocols lrc tardis
+
+See :mod:`repro.scenarios.scenario` for the document format and
+:mod:`repro.scenarios.runner` for execution and summary artifacts
+(DESIGN.md §13).
+"""
+
+from repro.scenarios.scenario import (
+    SCENARIO_DIR,
+    SCENARIO_SCHEMA,
+    Scenario,
+    builtin_scenarios,
+    load_scenario,
+)
+from repro.scenarios.runner import artifact_name, run_scenario
+
+__all__ = [
+    "SCENARIO_DIR",
+    "SCENARIO_SCHEMA",
+    "Scenario",
+    "builtin_scenarios",
+    "load_scenario",
+    "artifact_name",
+    "run_scenario",
+]

@@ -1,0 +1,224 @@
+"""Named, versioned, schema-validated scenario documents.
+
+A *scenario* bundles everything one reproducible experiment story
+needs — an application and its parameters, the machine shape, the
+protocols to sweep, and a (possibly phase-scripted) fault plan — into a
+single JSON document in the mosh-lite testbed style (SNIPPETS.md §1):
+``satellite_link``, ``burst_loss``, ``congestion_collapse``,
+``intermittent_connectivity`` are names you can run, diff, and cite
+instead of remembering rate strings.
+
+Scenarios are pure data with a round-trip guarantee:
+``Scenario.from_dict(s.to_dict()) == s`` and the JSON form re-parses to
+an equal object.  Validation is strict — unknown keys anywhere in the
+document (top level, fault plan, or phase entries) are errors, as are
+malformed phase windows — so a typo in a scenario file fails loudly at
+load time rather than silently running the wrong experiment.
+
+The built-in library lives next to this module (``library/*.json``);
+:func:`builtin_scenarios` enumerates it and :func:`load_scenario`
+accepts either a library name or a filesystem path, so teams can keep
+private scenario files out of tree.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import re
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+
+#: Bumped whenever the meaning of a scenario field changes.
+SCENARIO_SCHEMA = 1
+
+#: Directory of built-in scenario documents.
+SCENARIO_DIR = Path(__file__).parent / "library"
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named experiment story, fully specified.
+
+    ``params`` are application-parameter overrides applied on top of
+    the preset selected by ``small``; ``overrides`` are
+    :class:`~repro.config.SystemConfig` field overrides; ``protocols``
+    is the default sweep (the CLI can restrict it).  ``faults`` holds
+    the scenario's :class:`~repro.faults.plan.FaultPlan` — usually
+    phase-scripted (good→bad→good windows over simulated cycles) — or
+    ``None`` for a fault-free baseline.
+    """
+
+    name: str
+    app: str
+    description: str = ""
+    schema: int = SCENARIO_SCHEMA
+    n_procs: int = 16
+    kind: str = "default"
+    small: bool = False
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+    overrides: Tuple[Tuple[str, Any], ...] = field(default=())
+    protocols: Tuple[str, ...] = ()
+    faults: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        from repro.apps import APPS
+        from repro.protocols import all_names
+
+        if self.schema != SCENARIO_SCHEMA:
+            raise ValueError(
+                f"scenario schema {self.schema!r} not supported "
+                f"(this build reads schema {SCENARIO_SCHEMA})"
+            )
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"scenario name must be a lower_snake_case slug, got "
+                f"{self.name!r}"
+            )
+        for attr in ("params", "overrides"):
+            v = getattr(self, attr)
+            if isinstance(v, dict):
+                v = v.items()
+            object.__setattr__(
+                self, attr, tuple(sorted((str(k), val) for k, val in v))
+            )
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        object.__setattr__(self, "faults", FaultPlan.coerce(self.faults))
+        if self.app not in APPS:
+            raise ValueError(f"unknown application {self.app!r}")
+        known = set(all_names())
+        bad = [p for p in self.protocols if p not in known]
+        if bad:
+            raise ValueError(
+                f"unknown protocols {bad} (choose from {sorted(known)})"
+            )
+        if self.n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        # App params are validated against the app's actual setup()
+        # signature, so a misspelled parameter fails at load time.
+        sig = inspect.signature(APPS[self.app].setup)
+        accepted = {p for p in sig.parameters if p != "self"}
+        unknown = [k for k, _ in self.params if k not in accepted]
+        if unknown:
+            raise ValueError(
+                f"app {self.app!r} does not accept params {unknown} "
+                f"(accepted: {sorted(accepted)})"
+            )
+
+    # -- derived --------------------------------------------------------------
+
+    def protocol_list(self, restrict=None) -> Tuple[str, ...]:
+        """The protocols to sweep: the scenario's own list (or every
+        registered protocol when it is empty), optionally restricted."""
+        from repro.protocols import all_names
+
+        protos = self.protocols or tuple(all_names())
+        if restrict:
+            restrict = tuple(restrict)
+            bad = [p for p in restrict if p not in protos]
+            if bad:
+                raise ValueError(
+                    f"scenario {self.name!r} does not cover protocols {bad} "
+                    f"(covers {list(protos)})"
+                )
+            protos = restrict
+        return protos
+
+    def spec_for(self, protocol: str, n_procs: Optional[int] = None,
+                 check_invariants: bool = False):
+        """The :class:`~repro.harness.spec.ExperimentSpec` of one cell."""
+        from repro.harness.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            app=self.app,
+            protocol=protocol,
+            kind=self.kind,
+            n_procs=self.n_procs if n_procs is None else n_procs,
+            small=self.small,
+            overrides=self.overrides,
+            params=self.params,
+            faults=self.faults,
+            check_invariants=check_invariants,
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "description": self.description,
+            "app": self.app,
+            "n_procs": self.n_procs,
+            "kind": self.kind,
+            "small": self.small,
+            "params": {k: v for k, v in self.params},
+            "overrides": {k: v for k, v in self.overrides},
+            "protocols": list(self.protocols),
+            "faults": self.faults.to_dict() if self.faults is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Scenario":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown Scenario fields: {sorted(unknown)}")
+        missing = [k for k in ("name", "app") if k not in d]
+        if missing:
+            raise ValueError(f"scenario is missing required fields {missing}")
+        return cls(**d)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+# -- the library ---------------------------------------------------------------
+
+
+def builtin_scenarios() -> Dict[str, Path]:
+    """Name -> path of every built-in scenario document."""
+    return {p.stem: p for p in sorted(SCENARIO_DIR.glob("*.json"))}
+
+
+def load_scenario(name_or_path) -> Scenario:
+    """Load a scenario by library name or filesystem path.
+
+    A bare slug resolves against the built-in library; anything
+    containing a path separator (or ending in ``.json``) is read as a
+    file.  A library document whose ``name`` disagrees with its
+    filename is rejected — names are the lookup key, so drift between
+    the two would make ``scenarios run NAME`` lie.
+    """
+    text_name = str(name_or_path)
+    if "/" in text_name or text_name.endswith(".json"):
+        path = Path(name_or_path)
+    else:
+        lib = builtin_scenarios()
+        if text_name not in lib:
+            raise ValueError(
+                f"unknown scenario {text_name!r} "
+                f"(library: {', '.join(sorted(lib)) or 'empty'})"
+            )
+        path = lib[text_name]
+    try:
+        sc = Scenario.from_json(path.read_text())
+    except OSError as e:
+        raise ValueError(f"cannot read scenario file {path}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise ValueError(f"scenario file {path} is not valid JSON: {e}") from e
+    if sc.name != path.stem:
+        raise ValueError(
+            f"scenario file {path} is named {sc.name!r}; rename the file "
+            f"or the scenario so they agree"
+        )
+    return sc

@@ -43,6 +43,7 @@ class TestRegistry:
         assert set(APPS) == {
             "gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d",
             "fuzz",  # conformance workload (DESIGN.md §9)
+            "kvstore", "taskqueue", "pubsub",  # service workloads (§13)
         }
 
     @pytest.mark.parametrize("name", sorted(TINY))

@@ -5,6 +5,7 @@ the retransmit cap, and the stall watchdog."""
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.config import SystemConfig
 from repro.core.machine import Machine
@@ -290,3 +291,109 @@ class TestStallWatchdog:
         app = APPS["mp3d"](AppContext.for_machine(machine), **spec.app_params())
         with pytest.raises(SimulationStall):
             machine.run([app.program(p) for p in range(cfg.n_procs)])
+
+
+class TestFaultPhases:
+    """Phase-scripted plans: good→bad→good windows over simulated cycles."""
+
+    def test_phase_validation(self):
+        from repro.faults.plan import FaultPhase
+
+        with pytest.raises(ValueError, match="start < end"):
+            FaultPhase(start=100, end=100)
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPhase(start=-1, end=100)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            FaultPhase(start=0, end=10, drop=1.5)
+        with pytest.raises(ValueError, match="unknown FaultPhase fields"):
+            FaultPhase.from_dict({"start": 0, "end": 10, "dorp": 0.5})
+
+    def test_plan_rejects_unsorted_or_overlapping_windows(self):
+        from repro.faults.plan import FaultPhase
+
+        ok = FaultPlan(phases=(FaultPhase(0, 10, drop=0.1),
+                               FaultPhase(10, 20, drop=0.2)))
+        assert len(ok.phases) == 2  # adjacent windows are fine
+        with pytest.raises(ValueError, match="sorted and non-overlapping"):
+            FaultPlan(phases=(FaultPhase(0, 15, drop=0.1),
+                              FaultPhase(10, 20, drop=0.2)))
+        with pytest.raises(ValueError, match="sorted and non-overlapping"):
+            FaultPlan(phases=(FaultPhase(10, 20, drop=0.1),
+                              FaultPhase(0, 5, drop=0.2)))
+
+    def test_phase_round_trip_and_label(self):
+        p = FaultPlan(seed=5, phases=({"start": 100, "end": 200, "drop": 0.3},))
+        back = FaultPlan.from_dict(json.loads(json.dumps(p.to_dict())))
+        assert back == p
+        assert "phases=1" in p.label()
+        # A phase-free plan serializes without the key at all, so old
+        # stored plans and spec fingerprints are unchanged.
+        assert "phases" not in FaultPlan(drop=0.1).to_dict()
+
+    def test_parse_rejects_phases_key(self):
+        with pytest.raises(ValueError, match="scenario JSON"):
+            FaultPlan.parse("phases=3")
+
+    def test_rates_at_switches_inside_windows(self):
+        from repro.faults.plan import FaultPhase
+
+        p = FaultPlan(drop=0.01, phases=(FaultPhase(100, 200, drop=0.5),
+                                         FaultPhase(300, 400, dup=0.25)))
+        assert p.rates_at(0) == (0.01, 0.0, 0.0, 0.0)
+        assert p.rates_at(100) == (0.5, 0.0, 0.0, 0.0)
+        assert p.rates_at(199) == (0.5, 0.0, 0.0, 0.0)
+        assert p.rates_at(200) == (0.01, 0.0, 0.0, 0.0)
+        assert p.rates_at(350) == (0.0, 0.25, 0.0, 0.0)
+        assert p.rates_at(400) == (0.01, 0.0, 0.0, 0.0)
+
+    def test_zero_rate_script_is_inert(self):
+        from repro.faults.plan import FaultPhase
+
+        calm = FaultPlan(seed=3, phases=(FaultPhase(0, 10_000),))
+        assert not calm.active
+        assert FaultPlan(phases=(FaultPhase(0, 10, drop=0.1),)).active
+
+    def test_zero_rate_script_bit_identical_to_faults_off(self):
+        from repro.faults.plan import FaultPhase
+
+        base = ExperimentSpec("kvstore", "lrc", n_procs=4, small=True)
+        calm = base.with_(
+            faults=FaultPlan(seed=9, phases=(FaultPhase(0, 1 << 40),))
+        )
+        assert base.run().to_dict() == calm.run().to_dict()
+
+    @given(
+        bounds=st.lists(
+            st.integers(min_value=0, max_value=20_000),
+            min_size=2, max_size=8, unique=True,
+        ),
+        rate=st.floats(min_value=0.3, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        times=st.lists(
+            st.integers(min_value=0, max_value=25_000),
+            min_size=20, max_size=120,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_injection_outside_phase_windows(self, bounds, rate, seed, times):
+        """The property the scenario library's attribution story rests
+        on: with zero base rates, every drop/dup/delay the injector
+        produces lands at a cycle covered by some phase window."""
+        from repro.faults.inject import FaultInjector
+        from repro.faults.plan import FaultPhase
+
+        cuts = sorted(bounds)
+        phases = tuple(
+            FaultPhase(cuts[i], cuts[i + 1], drop=rate, dup=rate, delay=rate)
+            for i in range(0, len(cuts) - 1, 2)
+        )
+        plan = FaultPlan(seed=seed, phases=phases)
+        inj = FaultInjector(plan)
+        covered = lambda t: any(p.covers(t) for p in phases)
+        for i, t in enumerate(times):
+            d = inj.decide(src=i % 4, dst=(i + 1) % 4, channel="data", t=t)
+            if d.drop or d.dup or d.extra:
+                assert covered(t), (
+                    f"injection at t={t} outside every phase window "
+                    f"{[(p.start, p.end) for p in phases]}"
+                )

@@ -19,8 +19,12 @@ from repro.harness import run_experiment
 GOLDEN_DIR = Path(__file__).parent / "golden"
 PROTOCOLS = ("sc", "erc", "lrc", "lrc-ext", "tardis")
 
-#: Apps snapshotted (small presets keep the run fast).
-CASES = ("gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d")
+#: Apps snapshotted (small presets keep the run fast): the SPLASH seven
+#: plus the service-shaped workloads (DESIGN.md §13).
+CASES = (
+    "gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d",
+    "kvstore", "taskqueue", "pubsub",
+)
 N_PROCS = 4
 
 

@@ -18,8 +18,15 @@ from repro.stats.report import breakdown_bar, format_table
 class TestPresets:
     def test_presets_cover_all_apps(self):
         # APP_ORDER lists the paper's benchmark suite; the fuzz
-        # conformance workload has presets but no figure slot.
-        assert set(APP_PRESETS) == set(APP_PRESETS_SMALL) == set(APP_ORDER) | {"fuzz"}
+        # conformance workload and the service apps (DESIGN.md §13)
+        # have presets but no figure slot.
+        from repro.apps import SERVICE_APPS
+
+        assert (
+            set(APP_PRESETS)
+            == set(APP_PRESETS_SMALL)
+            == set(APP_ORDER) | {"fuzz"} | set(SERVICE_APPS)
+        )
         assert set(APP_LABELS) == set(APP_ORDER)
 
     def test_bench_config_defaults(self):

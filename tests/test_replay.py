@@ -27,6 +27,7 @@ from repro.results.store import ResultStore
 
 PROTOCOLS = ("sc", "erc", "lrc", "lrc-ext", "tardis")
 SEED_APPS = ("gauss", "fft", "blu", "barnes", "cholesky", "locusroute", "mp3d")
+SERVICE_APPS = ("kvstore", "taskqueue", "pubsub")
 
 
 def cfg(n=4, **kw):
@@ -41,6 +42,18 @@ def small_spec(app, proto, **kw):
 class TestDifferential:
     @pytest.mark.parametrize("app", SEED_APPS)
     def test_engines_bit_identical_across_protocols(self, app):
+        for proto in PROTOCOLS:
+            spec = small_spec(app, proto)
+            gen = spec.run(engine="generator").to_dict()
+            rep = spec.run(engine="replay").to_dict()
+            assert gen == rep, f"{app}/{proto} diverged"
+
+    @pytest.mark.parametrize("app", SERVICE_APPS)
+    def test_service_apps_engines_bit_identical_checked(self, app, monkeypatch):
+        # The service workloads ride the same differential guarantee as
+        # the SPLASH seven, with the invariant checker observing both
+        # engines.
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
         for proto in PROTOCOLS:
             spec = small_spec(app, proto)
             gen = spec.run(engine="generator").to_dict()
