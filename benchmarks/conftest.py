@@ -18,6 +18,7 @@ the experiment engine:
 """
 
 import os
+import time
 
 import pytest
 
@@ -48,6 +49,31 @@ def bench_small():
 def once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def timed(fn, reps=3):
+    """Run ``fn`` ``reps`` times; return ``(last_result, timing)``.
+
+    ``timing`` reports wall-time variance — ``{"reps", "min_s",
+    "median_s"}`` — so a BENCH cell carries both the best case (the
+    conventional headline, least scheduler noise) and the median (the
+    stability check: a median far off the min flags a noisy host).
+    Every throughput trajectory file (``BENCH_engine.json``,
+    ``BENCH_pdes.json``) reports through this one helper so their
+    numbers are comparable.
+    """
+    times = []
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return out, {
+        "reps": reps,
+        "min_s": round(times[0], 4),
+        "median_s": round(times[reps // 2], 4),
+    }
 
 
 #: Reproduced tables/figures, emitted after the run (pytest captures

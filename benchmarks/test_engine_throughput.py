@@ -28,7 +28,7 @@ import json
 import time
 from pathlib import Path
 
-from benchmarks.conftest import record
+from benchmarks.conftest import record, timed
 from repro.harness.spec import ExperimentSpec
 from repro.program.stream import clear_stream_cache
 
@@ -49,17 +49,6 @@ CELLS = [
     ("wt-bound", "fft", "lrc", WT_BOUND),
     ("wt-bound", "gauss", "tardis", WT_BOUND),
 ]
-
-
-def _time(fn):
-    best = None
-    out = None
-    for _ in range(REPS):
-        t0 = time.perf_counter()
-        out = fn()
-        dt = time.perf_counter() - t0
-        best = dt if best is None or dt < best else best
-    return out, best
 
 
 def _aggregate(cells):
@@ -83,8 +72,9 @@ def test_engine_throughput():
         t0 = time.perf_counter()
         spec.recorded_stream()  # cold: one record phase per workload
         record_s = time.perf_counter() - t0
-        result, gen_s = _time(lambda: spec.run(engine="generator"))
-        _, rep_s = _time(lambda: spec.run(engine="replay"))
+        result, gen_t = timed(lambda: spec.run(engine="generator"), REPS)
+        _, rep_t = timed(lambda: spec.run(engine="replay"), REPS)
+        gen_s, rep_s = gen_t["min_s"], rep_t["min_s"]
         cell = {
             "group": group,
             "app": app,
@@ -94,8 +84,10 @@ def test_engine_throughput():
             "cycles": result.exec_time,
             "references": result.stats.references,
             "record_s": round(record_s, 4),
-            "generator_s": round(gen_s, 4),
-            "replay_s": round(rep_s, 4),
+            "generator_s": gen_s,
+            "generator_median_s": gen_t["median_s"],
+            "replay_s": rep_s,
+            "replay_median_s": rep_t["median_s"],
             "generator_cps": round(result.exec_time / gen_s),
             "replay_cps": round(result.exec_time / rep_s),
             "speedup": round(gen_s / rep_s, 2),

@@ -1,0 +1,150 @@
+"""Sharded PDES scaling (DESIGN.md §14).
+
+Writes ``BENCH_pdes.json`` at the repo root — the performance
+trajectory file for the time-windowed sharded scheduler.  Each cell
+runs one 64/256/1024-node service workload serially and with
+``REPRO_PDES_SHARDS`` in-process shards, asserts the results are
+bit-identical, and reports:
+
+* ``cycles_per_sec`` — simulated cycles over measured wall time.  On a
+  single-core host the sharded number *includes* the serialization of
+  the per-epoch shard windows, so it trails serial slightly (windowing
+  overhead), and is reported as the honest single-core measurement.
+* ``aggregate_cycles_per_sec`` — simulated cycles over the *critical
+  path* ``max(sim.busy)``: the per-shard window execution times are
+  measured independently (see ``ShardedSimulator.busy``), and within an
+  epoch the windows are mutually independent by the lookahead proof, so
+  their maximum is the window wall time a host with ``>= shards`` cores
+  pays.  This is the projected multi-core throughput (barrier
+  bookkeeping excluded; it is ``O(shards)`` per epoch against
+  ``O(events)`` windows), labeled ``projected`` in the artifact.
+
+The crossover artifact mirrors the F8/F9 shape at 256 nodes: where the
+serial engine's single-stream rate crosses the sharded engine's
+aggregate rate, and the smallest measured node count past the crossover.
+
+CI smoke overrides ``REPRO_PDES_NODES`` (e.g. ``16,32``) to keep the
+matrix small; the ≥2x acceptance gate only arms at experiment scale
+(256 nodes, ≥4 shards).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import record, timed
+from repro.harness.spec import ExperimentSpec
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_pdes.json"
+
+NODES = tuple(
+    int(n) for n in os.environ.get("REPRO_PDES_NODES", "64,256,1024").split(",")
+)
+SHARDS = int(os.environ.get("REPRO_PDES_SHARDS", "4"))
+PROTOCOLS = ("lrc", "tardis")
+APP = "kvstore"
+REPS = 3
+
+
+def _canon(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def test_pdes_scaling(monkeypatch):
+    # The spec layer must not pick up ambient shard settings: serial
+    # cells are the baseline, sharded cells pass shards explicitly.
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+    cells = []
+    for n in NODES:
+        shards = min(SHARDS, n)
+        for proto in PROTOCOLS:
+            spec = ExperimentSpec(APP, proto, n_procs=n, small=True)
+            stream = spec.recorded_stream()  # record once, replay per rep
+
+            serial_res, serial_t = timed(
+                lambda: spec.machine_config(shards=1).build().replay(stream),
+                REPS,
+            )
+            state = {}
+
+            def sharded():
+                m = spec.machine_config(shards=shards).build()
+                r = m.replay(stream)
+                state["busy"] = list(m.sim.busy)
+                state["epochs"] = m.sim.epochs
+                return r
+
+            sharded_res, sharded_t = timed(sharded, REPS)
+            assert _canon(sharded_res) == _canon(serial_res), (
+                f"sharded run diverged from serial on {APP}/{proto} n={n}"
+            )
+            cycles = serial_res.exec_time
+            busy_max = max(state["busy"])
+            serial_cps = cycles / serial_t["min_s"]
+            aggregate_cps = cycles / busy_max
+            cells.append({
+                "app": APP,
+                "protocol": proto,
+                "n_procs": n,
+                "shards": shards,
+                "cycles": cycles,
+                "epochs": state["epochs"],
+                "serial": {
+                    **serial_t,
+                    "cycles_per_sec": round(serial_cps),
+                },
+                "sharded": {
+                    **sharded_t,
+                    "cycles_per_sec": round(cycles / sharded_t["min_s"]),
+                    "busy_max_s": round(busy_max, 4),
+                    "busy_sum_s": round(sum(state["busy"]), 4),
+                    "aggregate_cycles_per_sec": round(aggregate_cps),
+                    "aggregate_is_projected": True,
+                },
+                "speedup_aggregate": round(aggregate_cps / serial_cps, 2),
+            })
+
+    # F8/F9-style crossover artifact: serial single-stream rate vs
+    # sharded aggregate rate as the machine grows.
+    past = [c["n_procs"] for c in cells if c["speedup_aggregate"] > 1.0]
+    crossover = {
+        "at_nodes": 256,
+        "cells": {
+            f"{c['protocol']}@{c['n_procs']}": c["speedup_aggregate"]
+            for c in cells
+        },
+        "first_winning_n": min(past) if past else None,
+    }
+    payload = {
+        "benchmark": "pdes_scaling",
+        "app": APP,
+        "nodes": list(NODES),
+        "shards": SHARDS,
+        "reps": REPS,
+        "cells": cells,
+        "crossover": crossover,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    at256 = [c for c in cells if c["n_procs"] == 256]
+    if at256 and SHARDS >= 4:
+        best = max(at256, key=lambda c: c["speedup_aggregate"])
+        # Acceptance gate: the sharded engine's projected aggregate rate
+        # must at least double the serial rate at 256 nodes.
+        assert best["speedup_aggregate"] >= 2.0, (
+            f"aggregate speedup {best['speedup_aggregate']}x < 2x at 256 "
+            f"nodes ({best['protocol']})"
+        )
+        text = (
+            f"PDES crossover @256 nodes ({APP}): serial "
+            f"{best['serial']['cycles_per_sec'] / 1e6:.2f}M cycles/s vs "
+            f"{best['shards']}-shard aggregate "
+            f"{best['sharded']['aggregate_cycles_per_sec'] / 1e6:.2f}M "
+            f"(projected, {best['speedup_aggregate']}x; "
+            f"{best['protocol']}) -> {OUT.name}"
+        )
+    else:
+        text = f"PDES scaling smoke (nodes={list(NODES)}) -> {OUT.name}"
+    print("\n" + text)
+    record(text)

@@ -107,6 +107,7 @@ class MachineConfig:
     value_model: bool = False
     faults: Optional[object] = None
     stall_cycles: Optional[int] = None
+    shards: int = 1
 
     def build(self) -> "Machine":
         """Assemble a fresh :class:`Machine` from this description."""
@@ -135,6 +136,8 @@ class Machine:
         value_model: bool = False,
         faults=None,
         stall_cycles: Optional[int] = None,
+        shards: int = 1,
+        shard_backend: Optional[str] = None,
     ) -> None:
         # Import here to avoid a cycle (protocols import nothing from core,
         # but core.__init__ re-exports both directions for users).
@@ -142,7 +145,27 @@ class Machine:
         from repro.protocols import make_protocol
 
         self.config = config
-        self.sim = Simulator(max_cycles=max_cycles)
+        self.shards = shards
+        self.shard_backend = "inproc"
+        if shards > 1:
+            from repro.engine.shard import resolve_shard_backend
+
+            self.shard_backend = resolve_shard_backend(shard_backend)
+            # The value model asserts against one globally-ordered access
+            # stream; windowed shard execution interleaves node streams
+            # differently, so it stays a serial-engine-only oracle.
+            if value_model:
+                raise ValueError("value_model requires shards=1")
+            from repro.engine.shard import ShardedSimulator
+
+            self.sim = ShardedSimulator(
+                n_procs=config.n_procs,
+                shards=shards,
+                lookahead=config.hop_latency,
+                max_cycles=max_cycles,
+            )
+        else:
+            self.sim = Simulator(max_cycles=max_cycles)
         # ``faults`` accepts a FaultPlan, a plan dict, or the CLI string
         # form.  Only an *active* plan swaps in the reliable fabric; an
         # inert (zero-rate) plan keeps the plain fabric, so its runs are
@@ -161,7 +184,10 @@ class Machine:
         self.stats = MachineStats(config.n_procs)
         self.space = AddressSpace(config)
         self.home_of = self.space.build_block_home_lookup()
-        self.classifier = MissClassifier() if classify else None
+        # Logged mode: counts are resolved at end of run from per-node
+        # logs merged in canonical (time, node, index) order, so they are
+        # identical under any shard layout (and under span batching).
+        self.classifier = MissClassifier(logged=True) if classify else None
         self.protocol_name = protocol
         self.nodes: List[Node] = []
         self.protocol = make_protocol(protocol, self)
@@ -227,6 +253,7 @@ class Machine:
             )
         for node, gen in zip(self.nodes, programs):
             node.proc.set_program(gen)
+            self.sim.on_node(node.id)  # seed into the node's shard
             node.proc.start()
         return self._complete()
 
@@ -271,7 +298,12 @@ class Machine:
             from repro.faults.watchdog import StallWatchdog
 
             StallWatchdog(self, self.stall_cycles).arm()
-        self.sim.run()
+        if self.shards > 1 and self.shard_backend == "process":
+            from repro.engine.shard_proc import run_forked
+
+            run_forked(self)
+        else:
+            self.sim.run()
         if self._finished != self.config.n_procs:
             stuck = [
                 (n.id, n.proc.block_reason, n.out_count, len(n.wb or ()))
@@ -284,6 +316,8 @@ class Machine:
             )
         if self.checker is not None:
             self.checker.end_of_run()
+        if self.classifier is not None:
+            self.classifier.finalize()
         return RunResult(
             config=self.config,
             protocol=self.protocol_name,

@@ -39,7 +39,8 @@ class Node:
         "wb_head_busy",
         "home_busy",
         "home_queue",
-        "home_wb_inflight",
+        "home_fwd_owner",
+        "wb_inflight",
         "lock_state",
         "barrier_state",
         "acq_inv_done",
@@ -83,11 +84,17 @@ class Node:
         # Home-side per-block serialization (MSI protocols).
         self.home_busy: Set[int] = set()
         self.home_queue = {}
-        # Dirty writebacks in flight to this home (block -> count).  A
-        # writeback travels on the data channel and can be overtaken by
-        # the evictor's own re-request on the control channel; the home
-        # holds requests for such blocks until the writeback lands.
-        self.home_wb_inflight = {}
+        # Open read-forward transactions homed here: block -> the dirty
+        # owner the line was forwarded away from.  Lets a writeback that
+        # raced with the forward unlist the stale sharer (the directory's
+        # read transition keeps the old owner in the sharer set); see
+        # msi_home.MSIHomeMixin._h_evict_wb.
+        self.home_fwd_owner = {}
+        # Evictor-side: dirty blocks this node has pushed out whose
+        # WRITEBACK may still be in flight (strictly node-local — the
+        # home infers the flight from its own directory, never from
+        # this set; see msi_home.MSIHomeMixin.handle_eviction).
+        self.wb_inflight: Set[int] = set()
         # Synchronization manager state (for locks/barriers homed here).
         self.lock_state = {}
         self.barrier_state = {}

@@ -235,7 +235,7 @@ class Processor:
                     stats.read_misses += 1
                     word = (addr >> 3) & wmask
                     if obs is not None:
-                        obs.classify_miss(my_id, block, word)
+                        obs.classify_miss(my_id, block, word, t)
                     if vm is not None:
                         vm.read_miss(my_id, block, word)
                     self.block(t, B_READ)
@@ -248,7 +248,7 @@ class Processor:
                 s = block & mask
                 word = (addr >> 3) & wmask
                 if obs is not None:
-                    obs.record_write(my_id, block, word)
+                    obs.record_write(my_id, block, word, t)
                 if tags[s] == block and states[s] == 2:
                     wt = self._wt_words
                     if wt is None:
@@ -308,7 +308,7 @@ class Processor:
                         else:
                             stats.read_misses += 1
                             if obs is not None:
-                                obs.classify_miss(my_id, block, word)
+                                obs.classify_miss(my_id, block, word, t)
                             if vm is not None:
                                 vm.read_miss(my_id, block, word)
                             # Resume after the fill: an RW element still
@@ -323,7 +323,7 @@ class Processor:
                     skip_read_once = False
                     if not is_read:  # WRITE_RUN or RW_RUN: write this element
                         if obs is not None:
-                            obs.record_write(my_id, block, word)
+                            obs.record_write(my_id, block, word, t)
                         if tags[s] == block and states[s] == 2:
                             wt = self._wt_words
                             if wt is None:

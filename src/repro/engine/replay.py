@@ -172,7 +172,12 @@ class ReplayProcessor(Processor):
         mops = self._mops
         i = self._i
         n = self._n
-        plain = vm is None and obs is None
+        # Spans stay batched with a classifier attached: the classifier's
+        # logged mode takes whole spans as single compact records
+        # (record_write_span) stamped with the per-element retire times
+        # the legacy loop would have used.  Only a value model still
+        # demotes spans to the per-element branches.
+        plain = vm is None
 
         pend = self._pending
         self._pending = None
@@ -223,6 +228,8 @@ class ReplayProcessor(Processor):
                         # write through the protocol exactly as the legacy
                         # loop does (cpu_write never stalls in state 2),
                         # then re-check the preconditions for the tail.
+                        if obs is not None:
+                            obs.record_write(my_id, block, words[0], t)
                         t = prot.cpu_write(node, t, block, words[0])
                         stats.writes += 1
                         if count > 1:
@@ -237,10 +244,18 @@ class ReplayProcessor(Processor):
                             m = count - 1
                             left = deadline - t
                             if m <= left:
+                                if obs is not None:
+                                    obs.record_write_span(
+                                        my_id, t, block, words[1:], 1
+                                    )
                                 ws.update(words[1:])
                                 stats.writes += m
                                 t += m
                             else:
+                                if obs is not None:
+                                    obs.record_write_span(
+                                        my_id, t, block, words[1 : 1 + left], 1
+                                    )
                                 ws.update(words[1 : 1 + left])
                                 stats.writes += left
                                 t += left
@@ -250,11 +265,15 @@ class ReplayProcessor(Processor):
                                 sim.at(t, self.run_quantum)
                                 return
                     elif count <= (left := deadline - t):
+                        if obs is not None:
+                            obs.record_write_span(my_id, t, block, words, 1)
                         if ws is not None:
                             ws.update(words)
                         stats.writes += count
                         t += count
                     else:
+                        if obs is not None:
+                            obs.record_write_span(my_id, t, block, words[:left], 1)
                         if ws is not None:
                             ws.update(words[:left])
                         stats.writes += left
@@ -279,6 +298,8 @@ class ReplayProcessor(Processor):
                         # does; then re-check and batch the tail.
                         stats.reads += 1
                         t += 1
+                        if obs is not None:
+                            obs.record_write(my_id, block, words[0], t)
                         t = prot.cpu_write(node, t, block, words[0])
                         stats.writes += 1
                         if count > 1:
@@ -293,11 +314,19 @@ class ReplayProcessor(Processor):
                             m = count - 1
                             k = (deadline - t + 1) >> 1
                             if m <= k:
+                                if obs is not None:
+                                    obs.record_write_span(
+                                        my_id, t + 1, block, words[1:], 2
+                                    )
                                 ws.update(words[1:])
                                 stats.reads += m
                                 stats.writes += m
                                 t += 2 * m
                             else:
+                                if obs is not None:
+                                    obs.record_write_span(
+                                        my_id, t + 1, block, words[1 : 1 + k], 2
+                                    )
                                 ws.update(words[1 : 1 + k])
                                 stats.reads += k
                                 stats.writes += k
@@ -306,12 +335,16 @@ class ReplayProcessor(Processor):
                                 sim.at(t, self.run_quantum)
                                 return
                     elif count <= (k := (deadline - t + 1) >> 1):
+                        if obs is not None:
+                            obs.record_write_span(my_id, t + 1, block, words, 2)
                         if ws is not None:
                             ws.update(words)
                         stats.reads += count
                         stats.writes += count
                         t += 2 * count
                     else:
+                        if obs is not None:
+                            obs.record_write_span(my_id, t + 1, block, words[:k], 2)
                         if ws is not None:
                             ws.update(words[:k])
                         stats.reads += k
@@ -342,7 +375,7 @@ class ReplayProcessor(Processor):
                     stats.read_misses += 1
                     word = (addr >> 3) & wmask
                     if obs is not None:
-                        obs.classify_miss(my_id, block, word)
+                        obs.classify_miss(my_id, block, word, t)
                     if vm is not None:
                         vm.read_miss(my_id, block, word)
                     self.block(t, B_READ)
@@ -355,7 +388,7 @@ class ReplayProcessor(Processor):
                 s = block & mask
                 word = (addr >> 3) & wmask
                 if obs is not None:
-                    obs.record_write(my_id, block, word)
+                    obs.record_write(my_id, block, word, t)
                 if tags[s] == block and states[s] == 2:
                     wt = self._wt_words
                     if wt is None:
@@ -412,7 +445,7 @@ class ReplayProcessor(Processor):
                         else:
                             stats.read_misses += 1
                             if obs is not None:
-                                obs.classify_miss(my_id, block, word)
+                                obs.classify_miss(my_id, block, word, t)
                             if vm is not None:
                                 vm.read_miss(my_id, block, word)
                             if is_rw:
@@ -425,7 +458,7 @@ class ReplayProcessor(Processor):
                     skip_read_once = False
                     if not is_read:
                         if obs is not None:
-                            obs.record_write(my_id, block, word)
+                            obs.record_write(my_id, block, word, t)
                         if tags[s] == block and states[s] == 2:
                             wt = self._wt_words
                             if wt is None:
@@ -528,6 +561,7 @@ def install_replay(machine, stream) -> None:
         proc = ReplayProcessor(node, machine)
         node.proc = proc
         proc.set_micro_program(mops)
+        machine.sim.on_node(node.id)  # seed into the node's shard
         proc.start()
     # (tracer/checker hold node references, not processor ones, so the
     # swap is invisible to observability — asserted by the checked ==

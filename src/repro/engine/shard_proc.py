@@ -1,0 +1,370 @@
+"""Forked worker-process backend for the sharded PDES scheduler.
+
+The in-process :meth:`~repro.engine.shard.ShardedSimulator.run` loop and
+this module execute the *same* epoch structure (DESIGN.md §14): drain
+cross-shard arrivals, compute ``horizon = min_next + lookahead``, run
+every shard's events below the horizon, repeat.  Here each shard's
+window runs in its own forked worker process while the parent acts as
+the epoch coordinator:
+
+* The parent builds and seeds the machine, then forks one worker per
+  shard — every process starts from an identical object graph, so a
+  worker simply executes :meth:`run_window` for *its* shard and leaves
+  the other shards' (identical) queues untouched.
+* Per epoch the parent broadcasts ``(horizon, inbound)`` and gathers
+  ``(min_next, outbound, progress)``; cross-shard arrivals are shipped
+  as picklable records carrying their canonical ``(arrival, src,
+  src_seq)`` keys plus the receive-NIC channel and the protocol handler
+  *name*, and are rebound to the destination worker's own object graph
+  on receipt.  The horizons, the per-shard event sets, and therefore the
+  results are bit-identical to the in-process backend (and the serial
+  engine).
+* Supervision reuses :mod:`repro.harness.runner`'s machinery: the same
+  terminate-then-SIGKILL ``_kill`` on failure, and a parent-side stall
+  check driven by the workers' per-epoch progress reports (the
+  process-mode analogue of the watchdog's barrier hook).
+
+Scope: the plain :class:`~repro.network.fabric.Fabric` only.  The
+reliable fabric, tracer, invariant checker, and value model all observe
+one shared-memory machine; in process mode they would each see a
+fragment, so those runs stay on the in-process backend (``Machine``
+raises a clear error rather than silently mis-measuring).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import List
+
+from repro.engine.simulator import DeadlockError
+from repro.faults.watchdog import SimulationStall
+from repro.network.fabric import Fabric
+from repro.network.messages import RELIABILITY_COUNTERS, MessageStats
+from repro.stats.counters import _MACHINE_COUNTERS, ProcStats
+
+
+def _check_supported(machine) -> None:
+    if type(machine.fabric) is not Fabric:
+        raise ValueError(
+            "the process shard backend requires the plain fabric; run "
+            "active fault plans on the in-process backend "
+            "(REPRO_SHARD_BACKEND=inproc)"
+        )
+    if machine.tracer is not None or machine.checker is not None:
+        raise ValueError(
+            "the process shard backend does not support trace/"
+            "check_invariants (observers are process-local); use the "
+            "in-process backend (REPRO_SHARD_BACKEND=inproc)"
+        )
+    if "fork" not in mp.get_all_start_methods():
+        raise RuntimeError(
+            "the process shard backend needs the fork start method "
+            "(workers inherit the seeded machine); use the in-process "
+            "backend on this platform"
+        )
+
+
+# -- wire format -------------------------------------------------------------------
+#
+# One cross-shard arrival:
+#   (dst_shard, arrival, src, src_seq, ctl, dst, occ, handler_name, handler_args)
+# The parent strips dst_shard when routing; workers rebind the receive
+# NIC from (ctl, dst) and the handler from its name on their own
+# protocol object.  Handler args are plain data (ints/tuples/None) for
+# every protocol message — anything else fails loudly at encode time.
+
+
+def _encode_outbound(machine) -> List[tuple]:
+    """Drain the boundary into picklable cross-shard arrival records."""
+    fab = machine.fabric
+    arrive = Fabric._arrive
+    boundary = machine.sim.boundary
+    out = []
+    if not boundary.count:
+        return out
+    for shard, recs in enumerate(boundary.pending):
+        for time, src, sseq, callback, args in recs:
+            if getattr(callback, "__func__", None) is not arrive:
+                raise TypeError(
+                    f"cannot ship callback {callback!r} between shard "
+                    "processes (expected Fabric._arrive)"
+                )
+            nic_in, occ, handler, hargs = args
+            name = nic_in.name  # "nic_in[7]" or "nic_in_ctl[7]"
+            ctl = name.startswith("nic_in_ctl")
+            dst = int(name[name.index("[") + 1 : -1])
+            out.append(
+                (shard, time, src, sseq, ctl, dst, occ, handler.__name__, hargs)
+            )
+        recs.clear()
+    boundary.count = 0
+    return out
+
+
+def _push_inbound(machine, records) -> None:
+    """Rebind shipped arrivals to this process's objects and enqueue them."""
+    fab = machine.fabric
+    sim = machine.sim
+    for time, src, sseq, ctl, dst, occ, hname, hargs in records:
+        nic = (fab.nic_in_ctl if ctl else fab.nic_in)[dst]
+        handler = getattr(machine.protocol, hname)
+        sim.queues[sim.shard_of[dst]].push_remote(
+            time, src, sseq, fab._arrive, (nic, occ, handler, hargs)
+        )
+
+
+def _apply_effects(machine, effects) -> None:
+    """Replay cross-shard state marks (see ``Simulator.shard_effect``).
+
+    Applied at the epoch barrier, before any event of the next window
+    runs; every observer of these marks runs at a message arrival at
+    least ``lookahead`` after the mark was written, so barrier
+    application is never late.  Increments commute, so the application
+    order across emitting shards is immaterial.
+    """
+    nodes = machine.nodes
+    for dst, kind, block in effects:
+        if kind != "fill":
+            raise ValueError(f"unknown shard effect kind {kind!r}")
+        d = nodes[dst].fill_reply_pending
+        d[block] = d.get(block, 0) + 1
+
+
+# -- worker ------------------------------------------------------------------------
+
+
+def _progress(machine) -> int:
+    """The watchdog's monotone progress signal, computed in-worker.
+
+    Only this worker's nodes ever move in its copy of the stats, so the
+    sum over all procs is exactly this shard's contribution.
+    """
+    total = machine._finished
+    for p in machine.stats.procs:
+        total += p.reads + p.writes + p.acquires + p.releases + p.barriers
+    return total
+
+
+def _final_payload(machine, shard: int) -> dict:
+    sim = machine.sim
+    shard_of = sim.shard_of
+    mine = [n.id for n in machine.nodes if shard_of[n.id] == shard]
+    cls = machine.classifier
+    return {
+        "procs": {i: machine.stats.procs[i].to_dict() for i in mine},
+        "machine": {c: getattr(machine.stats, c) for c in _MACHINE_COUNTERS},
+        "traffic": machine.fabric.stats.to_dict(),
+        "logs": dict(cls._logs) if cls is not None else None,
+        "finished": machine._finished,
+        "events": sim.events_processed,
+        "now": sim._final,
+        "unfinished": [
+            (n.id, n.proc.block_reason, n.out_count)
+            for n in machine.nodes
+            if shard_of[n.id] == shard and not n.proc.done
+        ],
+    }
+
+
+def _shard_worker(machine, shard: int, conn) -> None:
+    """Worker main: execute epoch windows for ``shard`` until told to stop."""
+    sim = machine.sim
+    shard_of = sim.shard_of
+    effects: List[tuple] = []
+
+    def shard_effect(dst, kind, block):
+        # Replicate marks on nodes of *other* shards; same-shard marks
+        # were just written to this worker's own objects.
+        if shard_of[dst] != shard:
+            effects.append((dst, kind, block))
+
+    sim.shard_effect = shard_effect
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _, horizon, inbound, effects_in = msg
+            if effects_in:
+                _apply_effects(machine, effects_in)
+            if inbound:
+                _push_inbound(machine, inbound)
+            sim.run_window(shard, horizon)
+            out_effects = effects[:]
+            effects.clear()
+            conn.send(
+                (
+                    "ok",
+                    sim.queues[shard].peek_time(),
+                    _encode_outbound(machine),
+                    out_effects,
+                    _progress(machine),
+                )
+            )
+        conn.send(("final", _final_payload(machine, shard)))
+        conn.close()
+    except BaseException as exc:
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            conn.close()
+        except OSError:
+            pass
+        raise
+
+
+# -- coordinator -------------------------------------------------------------------
+
+
+def _kill_all(procs) -> None:
+    from repro.harness.runner import _kill
+
+    for p in procs:
+        _kill(p)
+
+
+def _recv(conns, procs, k):
+    """Receive one message from worker ``k``; diagnose a dead worker."""
+    try:
+        msg = conns[k].recv()
+    except EOFError:
+        _kill_all(procs)
+        code = procs[k].exitcode
+        raise RuntimeError(
+            f"shard worker {k} died without reporting (exit code {code})"
+        ) from None
+    if msg[0] == "err":
+        _kill_all(procs)
+        raise RuntimeError(f"shard worker {k} failed: {msg[1]}")
+    return msg
+
+
+def _merge(machine, finals) -> None:
+    """Fold the workers' measurements back into the parent machine.
+
+    Worker payloads are disjoint by construction — proc stats and
+    classifier logs are per-node and every node runs in exactly one
+    worker; machine counters and traffic are commutative sums — so the
+    merge (in fixed shard order) reproduces the serial totals exactly.
+    """
+    stats = machine.stats
+    traffic = machine.fabric.stats
+    cls = machine.classifier
+    sim = machine.sim
+    finished = 0
+    events = 0
+    now = 0
+    unfinished = []
+    for payload in finals:
+        for i, d in payload["procs"].items():
+            stats.procs[i] = ProcStats.from_dict(d)
+        for c in _MACHINE_COUNTERS:
+            setattr(stats, c, getattr(stats, c) + payload["machine"][c])
+        t = MessageStats.from_dict(payload["traffic"])
+        traffic.count.update(t.count)
+        traffic.bytes.update(t.bytes)
+        traffic.total_hops += t.total_hops
+        for name in RELIABILITY_COUNTERS:
+            setattr(traffic, name, getattr(traffic, name) + getattr(t, name))
+        if cls is not None and payload["logs"]:
+            for p, log in payload["logs"].items():
+                cls._logs.setdefault(p, []).extend(log)
+        finished += payload["finished"]
+        events += payload["events"]
+        if payload["now"] > now:
+            now = payload["now"]
+        unfinished.extend(payload["unfinished"])
+    machine._finished = finished
+    sim.events_processed = events
+    sim.now = sim._final = now
+    if finished != machine.config.n_procs:
+        # Raise here, where the workers' per-node diagnoses are at hand
+        # (the parent's own node objects never executed).
+        unfinished.sort()
+        raise DeadlockError(
+            f"{len(unfinished)} processors never finished "
+            f"(id, reason, outstanding): {unfinished[:8]}"
+        )
+
+
+def run_forked(machine) -> int:
+    """Run a seeded sharded machine with one worker process per shard.
+
+    Drop-in replacement for ``machine.sim.run()``; returns the final
+    simulated time with the parent machine's stats/traffic/classifier
+    populated exactly as a serial or in-process-sharded run would have.
+    """
+    sim = machine.sim
+    _check_supported(machine)
+    ctx = mp.get_context("fork")
+    conns = []
+    procs = []
+    for k in range(sim.n_shards):
+        parent_conn, child_conn = ctx.Pipe()
+        p = ctx.Process(
+            target=_shard_worker,
+            args=(machine, k, child_conn),
+            name=f"repro-shard-{k}",
+            daemon=True,
+        )
+        p.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        procs.append(p)
+    try:
+        routed: List[list] = [[] for _ in range(sim.n_shards)]
+        routed_fx: List[list] = [[] for _ in range(sim.n_shards)]
+        shard_of = sim.shard_of
+        nxt = sim.min_next()  # parent's queues hold the identical seed
+        lookahead = sim.lookahead
+        stall = machine.stall_cycles
+        last_prog = -1
+        prog_time = 0
+        while nxt is not None:
+            horizon = nxt + lookahead
+            for k, conn in enumerate(conns):
+                try:
+                    conn.send(("epoch", horizon, routed[k], routed_fx[k]))
+                except (BrokenPipeError, OSError):
+                    pass  # diagnosed by _recv below
+                routed[k] = []
+                routed_fx[k] = []
+            nxt = None
+            total_prog = 0
+            for k in range(sim.n_shards):
+                _, qnext, outbound, out_fx, prog = _recv(conns, procs, k)
+                total_prog += prog
+                if qnext is not None and (nxt is None or qnext < nxt):
+                    nxt = qnext
+                for rec in outbound:
+                    routed[rec[0]].append(rec[1:])
+                    if nxt is None or rec[1] < nxt:
+                        nxt = rec[1]
+                for fx in out_fx:
+                    routed_fx[shard_of[fx[0]]].append(fx)
+            sim.epochs += 1
+            if stall:
+                if total_prog != last_prog:
+                    last_prog = total_prog
+                    prog_time = horizon
+                elif horizon - prog_time >= stall:
+                    _kill_all(procs)
+                    raise SimulationStall(
+                        f"no processor committed an operation for "
+                        f"{stall} cycles (t={horizon}; sharded process "
+                        f"backend, {sim.n_shards} workers)",
+                        kind="watchdog",
+                        cycle=horizon,
+                    )
+        for conn in conns:
+            conn.send(("stop",))
+        finals = []
+        for k in range(sim.n_shards):
+            finals.append(_recv(conns, procs, k)[1])
+        _merge(machine, finals)
+        for p in procs:
+            p.join()
+    finally:
+        for conn in conns:
+            conn.close()
+        _kill_all(procs)
+    return sim.now

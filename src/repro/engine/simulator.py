@@ -4,6 +4,13 @@ The simulator owns the event queue and the global clock.  Processors and
 protocol components schedule callbacks on it; :meth:`Simulator.run` drains
 events until the queue is empty (all programs finished) or a safety limit
 is reached.
+
+Cross-node deliveries go through :meth:`Simulator.deliver_remote`, which
+inserts them with the canonical remote-lane key ``(time, src, src_seq)``
+(see :mod:`repro.engine.events`).  The sharded scheduler
+(:mod:`repro.engine.shard`) overrides only that routing decision — the
+per-event execution discipline is this class's, which is what makes
+sharded runs bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -26,10 +33,29 @@ class Simulator:
         self.queue = EventQueue()
         self.now: int = 0
         self.max_cycles = max_cycles
-        self.events_processed: int = 0
         # Observability hook called (with no arguments) after every event;
         # set before run() (e.g. per-event invariant checking).
+        self.events_processed: int = 0
         self.post_event_hook = None
+
+    def on_node(self, node_id: int) -> None:
+        """Scheduling-affinity hint: subsequent events belong to
+        ``node_id``.  The serial simulator has one queue and ignores it;
+        the sharded scheduler routes to the node's shard."""
+
+    def shard_effect(self, dst: int, kind: str, block: int) -> None:
+        """Declare a cross-node state mark just written to node ``dst``
+        (e.g. the "reply in flight" counters protocols set on a *remote*
+        node at send time).  A no-op under shared memory — serial and
+        in-process-sharded runs see the write directly; the forked
+        process backend replicates it to ``dst``'s worker at the next
+        epoch barrier, which precedes every event that could observe it
+        (the mark's observers all run at message arrivals, ``>=``
+        lookahead after the write)."""
+
+    def has_pending(self) -> bool:
+        """Whether any event (including in-flight cross-shard ones) exists."""
+        return bool(self.queue)
 
     def at(self, time: int, callback: Callable, *args: Any) -> None:
         """Schedule ``callback(*args)`` at absolute ``time``.
@@ -46,13 +72,31 @@ class Simulator:
         """Schedule ``callback(*args)`` ``delay`` cycles from now."""
         self.queue.push(self.now + delay, callback, *args)
 
+    def deliver_remote(
+        self,
+        time: int,
+        src: int,
+        src_seq: int,
+        dst: int,
+        callback: Callable,
+        *args: Any,
+    ) -> None:
+        """Schedule a cross-node arrival at ``dst`` with the canonical
+        remote-lane key ``(time, src, src_seq)``.
+
+        ``dst`` routes the event to its owning shard in sharded mode; the
+        serial simulator has a single queue and ignores it.
+        """
+        self.queue.push_remote(time, src, src_seq, callback, args)
+
     def run(self) -> int:
         """Drain the event queue; return the final simulated time."""
         queue = self.queue
         hook = self.post_event_hook
+        max_cycles = self.max_cycles
         while queue:
             time, callback, args = queue.pop()
-            if time > self.max_cycles:
+            if time > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded max_cycles={self.max_cycles}"
                 )

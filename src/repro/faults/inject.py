@@ -3,9 +3,12 @@
 :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
 into concrete per-message decisions.  The fabric consults it once per
 physical transmission (first sends, retransmits, and acks alike); the
-injector owns the single seeded PRNG stream, so the fault schedule is a
-pure function of (plan, event order) and the simulator's deterministic
-event order makes whole runs reproducible.
+injector owns one seeded PRNG substream *per transmitting node*, so each
+node's fault schedule is a pure function of (plan, that node's own
+transmission order).  Per-node streams — rather than one global stream —
+are what keep the schedule independent of cross-node event interleaving,
+so sharded runs (DESIGN.md §14) draw exactly the decisions serial runs
+draw.
 """
 
 from __future__ import annotations
@@ -38,11 +41,24 @@ _CLEAN = Decision()
 class FaultInjector:
     """Seeded, deterministic fault decisions for a whole run."""
 
-    __slots__ = ("plan", "rng")
+    __slots__ = ("plan", "seed", "_rngs")
 
     def __init__(self, plan: FaultPlan, seed=None) -> None:
         self.plan = plan
-        self.rng = random.Random(plan.seed if seed is None else seed)
+        self.seed = plan.seed if seed is None else seed
+        self._rngs: dict = {}
+
+    def _rng_for(self, src: int) -> random.Random:
+        """The transmitting node's private PRNG substream.
+
+        Seeded from (run seed, node id) via the string form, which
+        :mod:`random` hashes with SHA-512 — deterministic across
+        processes and ``PYTHONHASHSEED`` values.
+        """
+        rng = self._rngs.get(src)
+        if rng is None:
+            rng = self._rngs[src] = random.Random(f"{self.seed}:{src}")
+        return rng
 
     def decide(self, src: int, dst: int, channel: str, t: int) -> Decision:
         """The fate of one transmission injected at time ``t``.
@@ -67,7 +83,7 @@ class FaultInjector:
             # fault schedule inside the faulty windows is independent
             # of how much clean traffic flowed between them.
             return _CLEAN
-        rng = self.rng
+        rng = self._rng_for(src)
         mult = plan.burst_mult if plan.in_burst(t) else 1.0
         if rng.random() < min(1.0, drop * mult):
             # A dropped message needs no further decisions; still a

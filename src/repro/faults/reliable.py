@@ -133,7 +133,7 @@ class ReliableFabric(Fabric):
             if self.tracer is not None:
                 self.tracer.emit(
                     "msg", src, t=t, dst=dst, type=mtype.name, size=size,
-                    deliver=t,
+                    arrival=t,
                 )
             self.sim.at(t, handler, t, *args)
             return t
@@ -186,11 +186,22 @@ class ReliableFabric(Fabric):
         else:
             if dec.extra:
                 self.stats.delays_injected += 1
-            self.sim.at(arrival + dec.extra, self._phys_arrive, key, seq, entry)
+            # Physical arrivals ride the canonical remote lane (keyed by
+            # the sender's send counter), so receive-side processing
+            # order is identical under any shard layout.
+            sseq = self._sseq[src]
+            self._sseq[src] = sseq + 1
+            self.sim.deliver_remote(
+                arrival + dec.extra, src, sseq, dst,
+                self._phys_arrive, key, seq, entry,
+            )
             if dec.dup:
                 self.stats.dups_injected += 1
-                self.sim.at(
-                    arrival + dec.extra + _DUP_GAP, self._phys_arrive, key, seq, entry
+                sseq = self._sseq[src]
+                self._sseq[src] = sseq + 1
+                self.sim.deliver_remote(
+                    arrival + dec.extra + _DUP_GAP, src, sseq, dst,
+                    self._phys_arrive, key, seq, entry,
                 )
         rto = self.rto << min(entry.attempts, _BACKOFF_CAP)
         self.sim.at(t + rto, self._check_timeout, key, seq)
@@ -231,15 +242,20 @@ class ReliableFabric(Fabric):
     def _phys_arrive(self, key: Tuple[int, int, str], seq: int, entry: _Pending) -> None:
         """The message's tail reached the destination: contend for the NIC.
 
-        Unlike the plain fabric (whose arrivals are monotone per stream,
-        so it can reserve the receive NIC at send time), faulty arrivals
-        genuinely reorder — the reservation must happen at arrival time.
+        Like the plain fabric's arrival phase, the receive-NIC
+        reservation happens here, in canonical arrival order — which
+        faults genuinely reorder (delay jitter), unlike fault-free
+        traffic.
         """
         _src, dst, _ch = key
         occ = self.config.nic_occupancy(entry.size)
         nic = (self.nic_in if entry.size else self.nic_in_ctl)[dst]
-        deliver = nic.enqueue(self.sim.now, occ)
-        self.sim.at(deliver, self._deliver, key, seq, entry)
+        now = self.sim.now
+        deliver = nic.enqueue(now, occ)
+        if deliver == now:
+            self._deliver(key, seq, entry)
+        else:
+            self.sim.at(deliver, self._deliver, key, seq, entry)
 
     def _deliver(self, key: Tuple[int, int, str], seq: int, entry: _Pending) -> None:
         rc = self._recv_ch.get(key)
@@ -285,13 +301,21 @@ class ReliableFabric(Fabric):
         # loss and delay apply.
         if dec.extra:
             self.stats.delays_injected += 1
-        self.sim.at(arrival + dec.extra, self._phys_ack, key, upto)
+        sseq = self._sseq[dst]
+        self._sseq[dst] = sseq + 1
+        self.sim.deliver_remote(
+            arrival + dec.extra, dst, sseq, src, self._phys_ack, key, upto
+        )
 
     def _phys_ack(self, key: Tuple[int, int, str], upto: int) -> None:
         src = key[0]
         occ = self.config.nic_occupancy(0)
-        deliver = self.nic_in_ctl[src].enqueue(self.sim.now, occ)
-        self.sim.at(deliver, self._on_ack, key, upto)
+        now = self.sim.now
+        deliver = self.nic_in_ctl[src].enqueue(now, occ)
+        if deliver == now:
+            self._on_ack(key, upto)
+        else:
+            self.sim.at(deliver, self._on_ack, key, upto)
 
     # -- introspection ---------------------------------------------------------
 

@@ -56,9 +56,17 @@ class SimulationStall(RuntimeError):
 
 
 class StallWatchdog:
-    """Periodic no-progress check over one :class:`~repro.core.machine.Machine`."""
+    """Periodic no-progress check over one :class:`~repro.core.machine.Machine`.
 
-    __slots__ = ("machine", "interval", "_last")
+    On the serial engine the check is a self-rescheduling event.  On the
+    sharded engine it rides the epoch-barrier hook instead: the budget is
+    consumed only by *machine-wide* zero-commit windows, so a shard that
+    spends epochs idle at the barrier (its nodes waiting on cross-shard
+    replies) can never be misread as a livelock — progress anywhere in
+    any shard resets the window, exactly as in the serial engine.
+    """
+
+    __slots__ = ("machine", "interval", "_last", "_next_check")
 
     def __init__(self, machine, interval: int = DEFAULT_STALL_CYCLES) -> None:
         if interval < 1:
@@ -66,6 +74,7 @@ class StallWatchdog:
         self.machine = machine
         self.interval = interval
         self._last = -1
+        self._next_check = 0
 
     def progress(self) -> int:
         """Monotone progress signal: committed ops + finished processors."""
@@ -77,37 +86,56 @@ class StallWatchdog:
     def arm(self) -> None:
         sim = self.machine.sim
         self._last = self.progress()
-        sim.at(sim.now + self.interval, self._check)
+        if hasattr(sim, "barrier_hook"):
+            self._next_check = sim.now + self.interval
+            sim.barrier_hook = self._on_barrier
+        else:
+            sim.at(sim.now + self.interval, self._check)
+
+    def _stall(self, now: int) -> None:
+        m = self.machine
+        window = []
+        if m.tracer is not None:
+            window = [m.tracer.format_event(e) for e in m.tracer.tail(32)]
+        stuck = [
+            (n.id, n.proc.block_reason, n.out_count)
+            for n in m.nodes
+            if not n.proc.done
+        ]
+        raise SimulationStall(
+            f"no processor committed an operation for {self.interval} "
+            f"cycles (t={now}; {len(stuck)} unfinished, "
+            f"(id, reason, outstanding): {stuck[:8]})",
+            kind="watchdog",
+            cycle=now,
+            window=window,
+        )
 
     def _check(self) -> None:
         m = self.machine
         sim = m.sim
         if m._finished >= m.config.n_procs:
             return  # all done; let the queue drain
-        if not sim.queue:
+        if not sim.has_pending():
             # Queue drained with processors blocked: a true deadlock.
             # Don't reschedule — Machine.run's DeadlockError diagnosis
             # (which names the stuck processors) is the better report.
             return
         cur = self.progress()
         if cur == self._last:
-            window = []
-            if m.tracer is not None:
-                window = [
-                    m.tracer.format_event(e) for e in m.tracer.tail(32)
-                ]
-            stuck = [
-                (n.id, n.proc.block_reason, n.out_count)
-                for n in m.nodes
-                if not n.proc.done
-            ]
-            raise SimulationStall(
-                f"no processor committed an operation for {self.interval} "
-                f"cycles (t={sim.now}; {len(stuck)} unfinished, "
-                f"(id, reason, outstanding): {stuck[:8]})",
-                kind="watchdog",
-                cycle=sim.now,
-                window=window,
-            )
+            self._stall(sim.now)
         self._last = cur
         sim.at(sim.now + self.interval, self._check)
+
+    def _on_barrier(self, now: int) -> None:
+        """Sharded check point, called after every epoch barrier."""
+        if now < self._next_check:
+            return
+        m = self.machine
+        if m._finished >= m.config.n_procs or not m.sim.has_pending():
+            return
+        cur = self.progress()
+        if cur == self._last:
+            self._stall(now)
+        self._last = cur
+        self._next_check = now + self.interval

@@ -24,7 +24,9 @@ from repro.faults.plan import FaultPlan
 
 #: Bumped whenever the *meaning* of a spec field changes (fingerprints
 #: then no longer collide with results computed under the old meaning).
-SPEC_VERSION = 1
+#: 2: canonical event ordering (two-lane queue, arrival-ordered receive
+#: NICs, logged classifier) shifted simulated numbers slightly.
+SPEC_VERSION = 2
 
 MACHINE_KINDS = ("default", "future")
 
@@ -40,6 +42,13 @@ MACHINE_KINDS = ("default", "future")
 ENGINES = ("replay", "generator")
 ENV_ENGINE = "REPRO_ENGINE"
 
+#: Shard count for the windowed PDES scheduler (DESIGN.md §14).  Sharded
+#: runs are bit-identical to serial ones, so — exactly like the engine
+#: choice — ``shards`` is transient: not a spec field, never part of the
+#: fingerprint, selectable per process via ``REPRO_SHARDS`` or per call
+#: via ``spec.run(shards=N)`` / ``--shards`` on the CLI.
+ENV_SHARDS = "REPRO_SHARDS"
+
 
 def resolve_engine(engine=None) -> str:
     """The engine to use: explicit argument, else ``REPRO_ENGINE``, else
@@ -52,6 +61,20 @@ def resolve_engine(engine=None) -> str:
             f"unknown engine {engine!r} (expected one of {ENGINES})"
         )
     return engine
+
+
+def resolve_shards(shards=None) -> int:
+    """Shard count to use: explicit argument, else ``REPRO_SHARDS``,
+    else 1 (serial)."""
+    import os
+
+    if shards is None:
+        env = os.environ.get(ENV_SHARDS, "")
+        shards = int(env) if env else 1
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return shards
 
 
 @dataclass(frozen=True)
@@ -228,10 +251,13 @@ class ExperimentSpec:
 
     # -- execution ------------------------------------------------------------
 
-    def machine_config(self):
+    def machine_config(self, shards: Optional[int] = None):
         """The :class:`~repro.core.machine.MachineConfig` this spec
         describes, with the observation-only environment toggles
-        (``REPRO_CHECK_INVARIANTS``, ``REPRO_VALUE_CHECK``) resolved."""
+        (``REPRO_CHECK_INVARIANTS``, ``REPRO_VALUE_CHECK``) and the
+        transient shard count (``REPRO_SHARDS``) resolved.  The shard
+        count is clamped to ``n_procs`` so a process-wide setting works
+        for small smoke machines too."""
         import os
 
         from repro.core.machine import MachineConfig
@@ -246,6 +272,10 @@ class ExperimentSpec:
         value_check = self.app == "fuzz" and os.environ.get(
             "REPRO_VALUE_CHECK", ""
         ) not in ("", "0")
+        shards = min(resolve_shards(shards), self.n_procs)
+        if value_check:
+            # The value model is a serial-engine-only oracle.
+            shards = 1
         return MachineConfig(
             config=self.config(),
             protocol=self.protocol,
@@ -253,6 +283,7 @@ class ExperimentSpec:
             check_invariants=check,
             value_model=value_check,
             faults=self.faults,
+            shards=shards,
         )
 
     def stream_key(self) -> str:
@@ -274,18 +305,19 @@ class ExperimentSpec:
             self.app, self.app_params(), self.config(), store=store
         )
 
-    def run(self, engine: Optional[str] = None):
+    def run(self, engine: Optional[str] = None, shards: Optional[int] = None):
         """Execute this spec on a fresh machine (no result caching).
 
         Pure: equal specs produce bit-identical :class:`RunResult`
-        numbers under either engine (the invariant checker and value
-        model, when enabled, only observe; the replay engine is held
-        bit-identical to the generator engine by the differential
-        suite).  Callers wanting memoization go through
+        numbers under either engine and any shard count (the invariant
+        checker and value model, when enabled, only observe; the replay
+        engine is held bit-identical to the generator engine by the
+        differential suite, and the sharded scheduler to the serial one
+        by the sharding suite).  Callers wanting memoization go through
         :func:`repro.harness.experiments.run_spec`.
         """
         engine = resolve_engine(engine)
-        mc = self.machine_config()
+        mc = self.machine_config(shards=shards)
         machine = mc.build()
         if engine == "replay":
             from repro.results.store import default_store

@@ -12,6 +12,15 @@ A message injected at time ``t`` starts leaving the source NIC at
 serialization time; it arrives at the destination after the transit
 latency; and it is handed to the destination protocol processor no
 earlier than the receive NIC frees up.
+
+Delivery is two-phase, and the phase split is what makes the schedule
+*partition-independent* (DESIGN.md §14): the send books only the source
+NIC and computes the wire-arrival time; the receive NIC is booked by an
+arrival event carried on the remote lane of the event queue, keyed
+``(arrival, src, src_seq)``.  Receive-side contention is therefore
+resolved in canonical arrival order — never in the order sends happened
+to execute — so a sharded run books the destination NIC in exactly the
+serial order.
 """
 
 from __future__ import annotations
@@ -48,6 +57,10 @@ class Fabric:
         self.nic_in_ctl: List[Resource] = [
             Resource(f"nic_in_ctl[{i}]") for i in range(n)
         ]
+        # Per-source send counters: the canonical remote-lane tie-break.
+        # Incremented in the sender's own (deterministic) execution order,
+        # so the key never depends on cross-node event interleaving.
+        self._sseq: List[int] = [0] * n
         # Hot-path constants hoisted out of send().
         self._hop_lat = config.hop_latency
         self._line = config.line_size
@@ -71,36 +84,62 @@ class Fabric:
 
         ``size`` overrides the payload size implied by the message type
         (used by coalescing-buffer flushes, which carry only the dirty
-        words).  Returns the delivery time (for callers that want to
-        chain bookkeeping without waiting for the event).
+        words).  Returns the wire-arrival time (local sends: ``t``); the
+        exact hand-off time additionally waits out receive-NIC
+        contention, resolved at arrival.
         """
         cfg = self.config
         if size < 0:
             size = self._line if mtype in DATA_BEARING else 0
-        occ = cfg.nic_occupancy(size)
         if src == dst:
             # Local delivery: no network traversal, only the protocol
             # processor hand-off (modeled by the handler's own costs).
-            deliver = t
             self.stats.record(mtype, size, 0)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "msg", src, t=t, dst=dst, type=mtype.name, size=size,
+                    arrival=t,
+                )
+            self.sim.at(t, handler, t, *args)
+            return t
+        occ = cfg.nic_occupancy(size)
+        hops = self.mesh.hops(src, dst)
+        if size:
+            start = self.nic_out[src].enqueue(t, occ)
+            arrival = start + self._hop_lat * hops + occ
+            nic_in = self.nic_in[dst]
         else:
-            hops = self.mesh.hops(src, dst)
-            if size:
-                start = self.nic_out[src].enqueue(t, occ)
-                arrival = start + self._hop_lat * hops + occ
-                deliver = self.nic_in[dst].enqueue(arrival, occ)
-            else:
-                start = self.nic_out_ctl[src].enqueue(t, occ)
-                arrival = start + self._hop_lat * hops
-                deliver = self.nic_in_ctl[dst].enqueue(arrival, occ)
-            self.stats.record(mtype, size, hops)
+            start = self.nic_out_ctl[src].enqueue(t, occ)
+            arrival = start + self._hop_lat * hops
+            nic_in = self.nic_in_ctl[dst]
+        self.stats.record(mtype, size, hops)
         if self.tracer is not None:
             self.tracer.emit(
                 "msg", src, t=t, dst=dst, type=mtype.name, size=size,
-                deliver=deliver,
+                arrival=arrival,
             )
-        self.sim.at(deliver, handler, deliver, *args)
-        return deliver
+        sseq = self._sseq[src]
+        self._sseq[src] = sseq + 1
+        self.sim.deliver_remote(
+            arrival, src, sseq, dst, self._arrive, nic_in, occ, handler, args
+        )
+        return arrival
+
+    def _arrive(
+        self, nic_in: Resource, occ: int, handler: Callable, args: tuple
+    ) -> None:
+        """Arrival phase: book the receive NIC, then hand off.
+
+        Runs at the destination (in sharded mode: in the destination's
+        shard), so the receive NIC is contended in canonical arrival
+        order regardless of where the send executed.
+        """
+        t = self.sim.now
+        deliver = nic_in.enqueue(t, occ)
+        if deliver == t:
+            handler(t, *args)
+        else:
+            self.sim.at(deliver, handler, deliver, *args)
 
     def utilization(self) -> dict:
         """Per-endpoint busy fractions at the current simulated time."""
@@ -109,3 +148,44 @@ class Fabric:
             "out": [r.busy_cycles / now for r in self.nic_out],
             "in": [r.busy_cycles / now for r in self.nic_in],
         }
+
+
+class ShardBoundary:
+    """Cross-shard delivery proxy for the sharded scheduler.
+
+    Remote deliveries whose destination lives in another shard are
+    queued here — with their canonical ``(arrival, src, src_seq)`` keys
+    already assigned — and drained into the destination shards' event
+    queues at the epoch barrier.  The conservative window guarantees
+    every queued arrival is at or beyond the next epoch's start, so
+    draining at the barrier can never deliver into a shard's past.
+    """
+
+    __slots__ = ("pending", "count")
+
+    def __init__(self, n_shards: int) -> None:
+        self.pending: List[list] = [[] for _ in range(n_shards)]
+        self.count = 0
+
+    def route(
+        self,
+        dst_shard: int,
+        time: int,
+        src: int,
+        src_seq: int,
+        callback: Callable,
+        args: tuple,
+    ) -> None:
+        self.pending[dst_shard].append((time, src, src_seq, callback, args))
+        self.count += 1
+
+    def exchange(self, queues) -> None:
+        """Drain every queued cross-shard arrival into its shard's queue."""
+        if not self.count:
+            return
+        for queue, recs in zip(queues, self.pending):
+            if recs:
+                for time, src, src_seq, callback, args in recs:
+                    queue.push_remote(time, src, src_seq, callback, args)
+                recs.clear()
+        self.count = 0

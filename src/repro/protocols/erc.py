@@ -93,11 +93,11 @@ class ERCProtocol(MSIHomeMixin, Protocol):
             if state == RO:
                 node.stats.upgrade_misses += 1
                 if obs is not None:
-                    obs.classify_write_upgrade(node.id, block)
+                    obs.classify_write_upgrade(node.id, block, t)
             else:
                 node.stats.write_misses += 1
                 if obs is not None:
-                    obs.classify_miss(node.id, block, min(wb.words[block]))
+                    obs.classify_miss(node.id, block, min(wb.words[block]), t)
             self._fill_begin(node, block)
             self.fabric.send(
                 node.id,

@@ -89,7 +89,7 @@ class LRCProtocol(Protocol):
             # point").  The notice transaction proceeds in the background.
             node.stats.upgrade_misses += 1
             if obs is not None:
-                obs.classify_write_upgrade(node.id, block)
+                obs.classify_write_upgrade(node.id, block, t)
             node.cache.upgrade(block)
             self._cbuf_add(node, t, block, {word})
             self._send_write_notice(node, t, block, has_copy=True)
@@ -103,7 +103,7 @@ class LRCProtocol(Protocol):
         if not existing:  # new entry: start the fetch
             node.stats.write_misses += 1
             if obs is not None:
-                obs.classify_miss(node.id, block, word)
+                obs.classify_miss(node.id, block, word, t)
             self._issue_write_fetch(node, t, block)
         return t + 1
 
@@ -264,7 +264,7 @@ class LRCProtocol(Protocol):
                 node.stats.acquire_invalidations += 1
                 self.stats.acquire_invalidations += 1
                 if obs is not None:
-                    obs.record_invalidation(node.id, block)
+                    obs.record_invalidation(node.id, block, t)
                 # Unflushed words for a dying line must reach memory for
                 # the multiple-writer merge to be correct.
                 words = node.cbuf.remove(block)
@@ -480,7 +480,7 @@ class LRCProtocol(Protocol):
 
     def handle_eviction(self, node, t: int, vblock: int, vstate: int) -> None:
         if self.machine.classifier is not None:
-            self.machine.classifier.record_eviction(node.id, vblock)
+            self.machine.classifier.record_eviction(node.id, vblock, t)
         # Dirty words still coalescing must reach memory.
         words = node.cbuf.remove(vblock)
         if words:

@@ -49,7 +49,7 @@ class LRCExtProtocol(LRCProtocol):
         if state == RO:
             node.stats.upgrade_misses += 1
             if obs is not None:
-                obs.classify_write_upgrade(node.id, block)
+                obs.classify_write_upgrade(node.id, block, t)
             node.cache.upgrade(block)
             node.deferred_notices.add(block)
             self._cbuf_add(node, t, block, {word})
@@ -61,7 +61,7 @@ class LRCExtProtocol(LRCProtocol):
         if not existing:
             node.stats.write_misses += 1
             if obs is not None:
-                obs.classify_miss(node.id, block, word)
+                obs.classify_miss(node.id, block, word, t)
             self._issue_write_fetch(node, t, block)
         return t + 1
 

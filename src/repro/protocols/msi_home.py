@@ -70,7 +70,7 @@ class MSIHomeMixin:
             if node.cache.invalidate(block):
                 self.stats.eager_invalidations += 1
                 if self.machine.classifier is not None:
-                    self.machine.classifier.record_invalidation(node.id, block)
+                    self.machine.classifier.record_invalidation(node.id, block, t)
         else:  # RO: ownership was forwarded away while the grant traveled
             node.cache.downgrade(block)
 
@@ -96,6 +96,9 @@ class MSIHomeMixin:
         """A fill reply (data or grant) is now in flight to ``requester``."""
         node = self.nodes[requester]
         node.fill_reply_pending[block] = node.fill_reply_pending.get(block, 0) + 1
+        # Cross-node mark: written here (home/owner), observed at the
+        # requester no earlier than the reply could arrive.
+        self.machine.sim.shard_effect(requester, "fill", block)
 
     def _reply_end(self, node, block: int) -> None:
         left = node.fill_reply_pending[block] - 1
@@ -136,6 +139,22 @@ class MSIHomeMixin:
 
     # -- home-side busy/queue -----------------------------------------------------
 
+    def _awaits_own_writeback(self, home, block: int, requester: int) -> bool:
+        """Home-local inference that ``requester``'s writeback is in flight.
+
+        An exclusive owner never requests its own block, so a request
+        whose sender is still the recorded dirty owner can only mean the
+        owner evicted the line and its WRITEBACK (data channel) was
+        overtaken by this re-request (control channel).  The request is
+        held until the writeback lands — judged purely from the home's
+        directory, so the decision needs no cross-node state and shards
+        cleanly (DESIGN.md §14).
+        """
+        entry = home.directory.entries.get(block)
+        return (
+            entry is not None and entry.state == DIRTY and entry.owner == requester
+        )
+
     def _home_defer(self, home, block: int, kind: str, *args) -> bool:
         """Queue the request if the block has an open transaction.
 
@@ -145,7 +164,7 @@ class MSIHomeMixin:
         """
         if (
             block in home.home_busy
-            or block in home.home_wb_inflight
+            or self._awaits_own_writeback(home, block, args[0])
             or home.home_queue.get(block)
         ):
             home.home_queue.setdefault(block, deque()).append((kind, args))
@@ -161,8 +180,11 @@ class MSIHomeMixin:
         # busy again) or the queue drains; a synchronously-served request
         # (plain 2-hop read) must not strand the ones behind it.
         q = home.home_queue.get(block)
-        while q and block not in home.home_busy and block not in home.home_wb_inflight:
-            kind, args = q.popleft()
+        while q and block not in home.home_busy:
+            kind, args = q[0]
+            if self._awaits_own_writeback(home, block, args[0]):
+                break  # released by _h_evict_wb when the writeback lands
+            q.popleft()
             if kind == "read":
                 self._do_read_req(t, block, *args)
             else:
@@ -186,6 +208,7 @@ class MSIHomeMixin:
             # 3-hop: the dirty owner supplies the line.
             self.stats.three_hop_reads += 1
             home.home_busy.add(block)
+            home.home_fwd_owner[block] = out.forward_to
             self.fabric.send(
                 home.id,
                 out.forward_to,
@@ -228,6 +251,12 @@ class MSIHomeMixin:
         # not data values, is simulated.
         if onode.cache.resident(block):
             onode.cache.downgrade(block)
+        elif block in onode.wb_inflight:
+            # The line is already on its way home (eviction writeback in
+            # flight); the owner serves its protocol role from the copy
+            # conceptually still in its writeback buffer — no fill is
+            # coming, so there is nothing to fix up.
+            pass
         else:
             # The forward overtook the owner's own grant: the fill must
             # land shared, not exclusive.
@@ -251,11 +280,16 @@ class MSIHomeMixin:
             vm.apply_home(block, data)
         home.mem.write(t, self.cfg.line_size)
         self.stats.writebacks += 1
+        home.home_fwd_owner.pop(block, None)
         self._home_unbusy(home, t, block)
 
     def _h_read_data(self, t: int, block: int, requester: int, data=None) -> None:
         node = self.nodes[requester]
         self._reply_end(node, block)
+        # A refill is only granted once any prior writeback from this
+        # node has landed (the home holds/queues the re-request), so the
+        # in-flight mark is spent by now.
+        node.wb_inflight.discard(block)
         t_fill = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
         self._install_line(node, t_fill, block, RO)
         vm = self.machine.valmodel
@@ -355,7 +389,9 @@ class MSIHomeMixin:
         if onode.cache.invalidate(block):
             self.stats.eager_invalidations += 1
             if self.machine.classifier is not None:
-                self.machine.classifier.record_invalidation(owner, block)
+                self.machine.classifier.record_invalidation(owner, block, tp)
+        elif block in onode.wb_inflight:
+            pass  # line already heading home; no fill to fix up
         else:
             self._note_fill_fixup(onode, block, INVALID, hits_grants=True)
         vm = self.machine.valmodel
@@ -386,7 +422,7 @@ class MSIHomeMixin:
         if tnode.cache.invalidate(block):
             self.stats.eager_invalidations += 1
             if self.machine.classifier is not None:
-                self.machine.classifier.record_invalidation(target, block)
+                self.machine.classifier.record_invalidation(target, block, tp)
         else:
             self._note_fill_fixup(tnode, block, INVALID, hits_grants=False)
         home = self.nodes[self.home_of(block)]
@@ -411,6 +447,7 @@ class MSIHomeMixin:
     ) -> None:
         node = self.nodes[requester]
         self._reply_end(node, block)
+        node.wb_inflight.discard(block)  # any prior writeback has landed
         if with_data:
             t = node.bus.reserve(t, self.cfg.bus_time(self.cfg.line_size))
             self._install_line(node, t, block, RW)
@@ -436,18 +473,18 @@ class MSIHomeMixin:
 
     def handle_eviction(self, node, t: int, vblock: int, vstate: int) -> None:
         if self.machine.classifier is not None:
-            self.machine.classifier.record_eviction(node.id, vblock)
+            self.machine.classifier.record_eviction(node.id, vblock, t)
         home_id = self.home_of(vblock)
         if vstate == RW:
             self.stats.writebacks += 1
-            # The writeback is ordered at the home the moment it enters
-            # the network; mark the block so that a request overtaking it
-            # on the control channel (e.g. the evictor re-fetching the
-            # same block) is held until the writeback lands.  Without
-            # this the late writeback's directory.evict would erase the
-            # entry the re-request just established.
-            home = self.nodes[home_id]
-            home.home_wb_inflight[vblock] = home.home_wb_inflight.get(vblock, 0) + 1
+            # Evictor-local note: lets a later coherence forward for this
+            # block tell "line already heading home" apart from "fill
+            # grant in flight" (see _h_forward_read).  The home is told
+            # nothing here — it infers the in-flight writeback from its
+            # own directory when the evictor re-requests the block
+            # (_awaits_own_writeback), keeping all cross-node influence
+            # on messages.
+            node.wb_inflight.add(vblock)
             vm = self.machine.valmodel
             self.fabric.send(
                 node.id, home_id, MsgType.WRITEBACK, t, self._h_evict_wb, vblock,
@@ -470,12 +507,22 @@ class MSIHomeMixin:
         if vm is not None:
             vm.apply_home(block, data)
         home.mem.write(t, self.cfg.line_size)
-        home.directory.evict(block, src, dirty=True)
-        left = home.home_wb_inflight[block] - 1
-        if left:
-            home.home_wb_inflight[block] = left
-        else:
-            del home.home_wb_inflight[block]
+        entry = home.directory.entries.get(block)
+        if entry is not None and entry.state == DIRTY and entry.owner == src:
+            home.directory.evict(block, src, dirty=True)
+        elif home.home_fwd_owner.get(block) == src:
+            # A read forward consumed the line while this writeback was
+            # in flight: the directory reshaped to SHARED but kept the
+            # forwarded-away owner in the sharer set.  ``src`` no longer
+            # caches the line — and cannot have been re-granted it yet:
+            # the sharing writeback that closes the forward travels the
+            # same src->home data channel as this message (FIFO per
+            # channel), so the block is still busy and any re-request
+            # from ``src`` is still queued.  Unlist the stale sharer.
+            home.directory.evict(block, src, dirty=False)
+        # else: another transaction already reshaped the directory (a
+        # write forward unlists the old owner itself) — the data simply
+        # lands in memory and must not erase the newer entry.
         self._home_replay(home, t, block)
 
     def _h_evict_hint(self, t: int, block: int, src: int) -> None:

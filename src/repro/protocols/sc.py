@@ -57,11 +57,11 @@ class SCProtocol(MSIHomeMixin, Protocol):
         if state == RO:
             node.stats.upgrade_misses += 1
             if obs is not None:
-                obs.classify_write_upgrade(node.id, block)
+                obs.classify_write_upgrade(node.id, block, t)
         else:
             node.stats.write_misses += 1
             if obs is not None:
-                obs.classify_miss(node.id, block, word)
+                obs.classify_miss(node.id, block, word, t)
         # Returning -1 makes the processor stall (write bucket) and retry
         # the write — which then hits — after _write_grant resumes it.
         self._fill_begin(node, block)

@@ -19,11 +19,22 @@ reference [3]):
 
 The classifier is an optional observer: when detached, the simulator's
 hot paths pay a single ``is None`` test.
+
+Two modes exist.  The *inline* mode (default) classifies at call time,
+ordering events by call order — fine for unit tests and ad-hoc use.
+Machines attach the *logged* mode (``MissClassifier(logged=True)``):
+every call appends to a per-node log stamped with the node's simulated
+time, and :meth:`finalize` replays the merged log in the canonical order
+``(time, node, log index)``.  Canonical ordering makes the counts a
+function of the simulated history rather than of host-side event
+interleaving, which is what lets sharded runs (DESIGN.md §14) — and the
+span-batched replay engine, which logs whole write spans as single
+compact records — produce bit-identical classifications.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 COLD = "cold"
 TRUE_SHARING = "true"
@@ -37,11 +48,19 @@ CATEGORIES = (COLD, TRUE_SHARING, FALSE_SHARING, EVICTION, WRITE_MISS)
 LOST_EVICTION = 0
 LOST_INVALIDATION = 1
 
+# Logged-mode opcodes (order within the log entry: (t, op, a, b)).
+_OP_WRITE = 0      # a=block, b=word
+_OP_EVICT = 1      # a=block
+_OP_INVAL = 2      # a=block
+_OP_MISS = 3       # a=block, b=word
+_OP_UPGRADE = 4    # a=block
+_OP_WSPAN = 5      # a=block, b=(words...), extra=time step per element
+
 
 class MissClassifier:
     """Word-granularity miss classifier (observer)."""
 
-    def __init__(self) -> None:
+    def __init__(self, logged: bool = False) -> None:
         # (block, word) -> (writer, seq) of the last write, any processor.
         self._last_write: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self._seq = 0
@@ -49,31 +68,74 @@ class MissClassifier:
         # also means "proc has accessed this block before" (cold test).
         self._loss: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self.counts: Dict[str, int] = {c: 0 for c in CATEGORIES}
+        self.logged = logged
+        # Per-node operation logs (logged mode).  An op is always
+        # appended to the log of the node *executing* it, so each log's
+        # order is a function of that node's own deterministic history.
+        self._logs: Dict[int, List[tuple]] = {}
+        self._finalized = False
+
+    def _log(self, proc: int) -> List[tuple]:
+        log = self._logs.get(proc)
+        if log is None:
+            log = self._logs[proc] = []
+        return log
 
     # -- write tracking (called on every simulated write) ----------------------
 
-    def record_write(self, proc: int, block: int, word: int) -> None:
+    def record_write(self, proc: int, block: int, word: int, t: int = 0) -> None:
+        if self.logged:
+            self._log(proc).append((t, _OP_WRITE, block, word))
+            return
         self._seq += 1
         self._last_write[(block, word)] = (proc, self._seq)
 
-    def record_write_run(self, proc: int, block_words) -> None:
-        """Batch variant: iterable of (block, word) pairs."""
-        for bw in block_words:
+    def record_write_span(
+        self, proc: int, t: int, block: int, words, step: int
+    ) -> None:
+        """Batch variant (logged mode): one compact record for a span of
+        writes to ``block``, element ``j`` stamped ``t + step * j``.
+
+        The replay engine's span fast paths use this so an attached
+        classifier no longer demotes them to per-element loops; the span
+        expands at :meth:`finalize` into exactly the per-element log the
+        legacy loop would have written.
+        """
+        if self.logged:
+            self._log(proc).append((t, _OP_WSPAN, block, tuple(words), step))
+            return
+        for j, word in enumerate(words):
             self._seq += 1
-            self._last_write[bw] = (proc, self._seq)
+            self._last_write[(block, word)] = (proc, self._seq)
 
     # -- loss tracking -----------------------------------------------------------
 
-    def record_eviction(self, proc: int, block: int) -> None:
+    def record_eviction(self, proc: int, block: int, t: int = 0) -> None:
+        if self.logged:
+            self._log(proc).append((t, _OP_EVICT, block, 0))
+            return
         self._loss[(proc, block)] = (LOST_EVICTION, self._seq)
 
-    def record_invalidation(self, proc: int, block: int) -> None:
+    def record_invalidation(self, proc: int, block: int, t: int = 0) -> None:
+        if self.logged:
+            self._log(proc).append((t, _OP_INVAL, block, 0))
+            return
         self._loss[(proc, block)] = (LOST_INVALIDATION, self._seq)
 
     # -- miss classification -------------------------------------------------------
 
-    def classify_miss(self, proc: int, block: int, word: int) -> str:
-        """Classify a data-transfer miss by ``proc`` on ``(block, word)``."""
+    def classify_miss(self, proc: int, block: int, word: int, t: int = 0):
+        """Classify a data-transfer miss by ``proc`` on ``(block, word)``.
+
+        Inline mode returns the category; logged mode defers the
+        decision to :meth:`finalize` and returns ``None``.
+        """
+        if self.logged:
+            self._log(proc).append((t, _OP_MISS, block, word))
+            return None
+        return self._classify(proc, block, word)
+
+    def _classify(self, proc: int, block: int, word: int) -> str:
         key = (proc, block)
         loss = self._loss.get(key)
         if loss is None:
@@ -93,17 +155,69 @@ class MissClassifier:
         self.counts[FALSE_SHARING] += 1
         return FALSE_SHARING
 
-    def classify_write_upgrade(self, proc: int, block: int) -> str:
+    def classify_write_upgrade(self, proc: int, block: int, t: int = 0):
         """A write to a read-only cached block (no data transfer)."""
+        if self.logged:
+            self._log(proc).append((t, _OP_UPGRADE, block, 0))
+            return None
         self.counts[WRITE_MISS] += 1
         # Ensure the cold test sees the block as touched.
         self._loss.setdefault((proc, block), (LOST_EVICTION, -1))
         return WRITE_MISS
 
+    # -- logged-mode resolution -------------------------------------------------
+
+    def finalize(self) -> None:
+        """Replay the per-node logs in canonical ``(t, node, index)``
+        order, filling ``counts`` (logged mode; inline mode: no-op).
+
+        Idempotent.  Called by the machine at end of run; reporting
+        accessors call it defensively.
+        """
+        if not self.logged or self._finalized:
+            return
+        self._finalized = True
+        elems: List[tuple] = []
+        push = elems.append
+        for proc in sorted(self._logs):
+            idx = 0
+            for entry in self._logs[proc]:
+                if entry[1] == _OP_WSPAN:
+                    t0, _, block, words, step = entry
+                    for j, word in enumerate(words):
+                        push((t0 + step * j, proc, idx, _OP_WRITE, block, word))
+                        idx += 1
+                else:
+                    t0, op, a, b = entry
+                    push((t0, proc, idx, op, a, b))
+                    idx += 1
+        self._logs.clear()
+        elems.sort()
+        last_write = self._last_write
+        loss = self._loss
+        seq = self._seq
+        for _t, proc, _idx, op, block, word in elems:
+            if op == _OP_WRITE:
+                seq += 1
+                last_write[(block, word)] = (proc, seq)
+            elif op == _OP_MISS:
+                self._seq = seq
+                self._classify(proc, block, word)
+                seq = self._seq
+            elif op == _OP_INVAL:
+                loss[(proc, block)] = (LOST_INVALIDATION, seq)
+            elif op == _OP_EVICT:
+                loss[(proc, block)] = (LOST_EVICTION, seq)
+            else:  # _OP_UPGRADE
+                self.counts[WRITE_MISS] += 1
+                loss.setdefault((proc, block), (LOST_EVICTION, -1))
+        self._seq = seq
+
     # -- reporting ------------------------------------------------------------------
 
     @property
     def total(self) -> int:
+        self.finalize()
         return sum(self.counts.values())
 
     def percentages(self) -> Dict[str, float]:
@@ -118,6 +232,7 @@ class MissClassifier:
     def to_dict(self) -> Dict[str, int]:
         """Category counts only: the word-level tracking maps are working
         state of a live run, not part of the measured result."""
+        self.finalize()
         return dict(self.counts)
 
     @classmethod

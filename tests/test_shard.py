@@ -1,0 +1,259 @@
+"""Tests for the sharded PDES scheduler (DESIGN.md §14).
+
+Covers the canonical event-queue tie-break both engines share, the
+shard-map/backend plumbing, bit-identity of sharded runs against the
+serial engine (both backends), the shard-aware stall watchdog, and the
+256-node determinism regression.
+"""
+
+import json
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.engine.events import EventQueue
+from repro.engine.shard import (
+    ShardedSimulator,
+    resolve_shard_backend,
+    shard_map,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import SimulationStall, StallWatchdog
+from repro.harness.presets import bench_config
+from repro.harness.spec import ExperimentSpec, resolve_shards
+
+
+def run_spec(app, protocol, n_procs, monkeypatch, shards=1, backend=None,
+             check=False, faults=None):
+    """One spec run → canonical JSON of everything measured."""
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+    if shards > 1:
+        monkeypatch.setenv("REPRO_SHARDS", str(shards))
+        if backend:
+            monkeypatch.setenv("REPRO_SHARD_BACKEND", backend)
+    spec = ExperimentSpec(
+        app=app, protocol=protocol, n_procs=n_procs, classify=True,
+        small=True, check_invariants=check, faults=faults,
+    )
+    return json.dumps(spec.run().to_dict(), sort_keys=True)
+
+
+class TestEventQueueTieBreak:
+    """Satellite: the explicit same-timestamp tie-break (two lanes)."""
+
+    def _drain(self, q):
+        out = []
+        while q:
+            _, cb, args = q.pop()
+            cb(*args)
+        return out
+
+    def test_local_fifo_at_equal_timestamps(self):
+        q = EventQueue()
+        order = []
+        # Interleave pushes at two equal-time groups: each group must
+        # fire in exactly its insertion order (explicit monotonic seq,
+        # never callback comparison).
+        for i in range(8):
+            q.push(5, order.append, ("t5", i))
+            q.push(9, order.append, ("t9", i))
+        while q:
+            _, cb, args = q.pop()
+            cb(*args)
+        assert order == [("t5", i) for i in range(8)] + \
+                        [("t9", i) for i in range(8)]
+
+    def test_local_lane_fires_before_remote_at_equal_time(self):
+        q = EventQueue()
+        order = []
+        q.push_remote(7, 0, 0, order.append, ("remote",))
+        q.push(7, order.append, "local")
+        while q:
+            _, cb, args = q.pop()
+            cb(*args)
+        assert order == ["local", "remote"]
+
+    def test_remote_lane_orders_by_src_then_seq(self):
+        q = EventQueue()
+        order = []
+        # Inserted in scrambled order; must fire sorted by (src, seq) —
+        # the canonical key that makes remote order shard-independent.
+        for src, seq in [(2, 0), (0, 1), (1, 5), (0, 0), (1, 2)]:
+            q.push_remote(4, src, seq, order.append, ((src, seq),))
+        while q:
+            _, cb, args = q.pop()
+            cb(*args)
+        assert order == [(0, 0), (0, 1), (1, 2), (1, 5), (2, 0)]
+
+    def test_remote_rejects_negative_time(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push_remote(-1, 0, 0, lambda: None, ())
+
+
+class TestShardPlumbing:
+    def test_shard_map_is_interleaved_and_balanced(self):
+        m = shard_map(16, 4)
+        assert set(m) == {0, 1, 2, 3}
+        assert all(m.count(s) == 4 for s in range(4))
+        # Round-robin: consecutive node ids land on distinct shards, so
+        # the low-id sync-manager homes spread across every shard.
+        assert m[:4] == [0, 1, 2, 3]
+        m = shard_map(10, 3)  # uneven split still covers every shard
+        assert set(m) == {0, 1, 2}
+        assert max(m.count(s) for s in range(3)) - \
+               min(m.count(s) for s in range(3)) <= 1
+
+    def test_resolve_shards(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards() == 1
+        assert resolve_shards(4) == 4
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert resolve_shards() == 3
+        assert resolve_shards(2) == 2  # explicit argument wins
+        with pytest.raises(ValueError):
+            resolve_shards(0)
+
+    def test_resolve_shard_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+        assert resolve_shard_backend() == "inproc"
+        assert resolve_shard_backend("process") == "process"
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "process")
+        assert resolve_shard_backend() == "process"
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            resolve_shard_backend("threads")
+
+    def test_sharded_simulator_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedSimulator(n_procs=4, shards=5, lookahead=3)
+        with pytest.raises(ValueError, match="lookahead"):
+            ShardedSimulator(n_procs=4, shards=2, lookahead=0)
+
+    def test_value_model_requires_serial(self):
+        with pytest.raises(ValueError, match="value_model"):
+            Machine(bench_config(n_procs=4), shards=2, value_model=True)
+
+    def test_process_backend_rejects_reliable_fabric(self):
+        from repro.engine.shard_proc import run_forked
+
+        m = Machine(bench_config(n_procs=4), shards=2,
+                    shard_backend="process", faults=FaultPlan(drop=0.1))
+        with pytest.raises(ValueError, match="plain fabric"):
+            run_forked(m)
+
+    def test_process_backend_rejects_observers(self):
+        from repro.engine.shard_proc import run_forked
+
+        m = Machine(bench_config(n_procs=4), shards=2,
+                    shard_backend="process", check_invariants=True)
+        with pytest.raises(ValueError, match="in-process backend"):
+            run_forked(m)
+
+
+class TestShardedBitIdentity:
+    """Sharded runs reproduce the serial engine bit-for-bit.
+
+    Tier-1 keeps a small slice; the full 3-app × 5-protocol ×
+    {2,3,4}-shard × both-backend matrix runs in CI's sharded smoke and
+    was validated when the scheduler landed.
+    """
+
+    @pytest.mark.parametrize("app,protocol", [
+        ("gauss", "lrc"),
+        ("kvstore", "sc"),
+        ("mp3d", "tardis"),
+    ])
+    def test_inproc_two_shards(self, app, protocol, monkeypatch):
+        serial = run_spec(app, protocol, 8, monkeypatch)
+        sharded = run_spec(app, protocol, 8, monkeypatch, shards=2)
+        assert sharded == serial
+
+    def test_process_backend(self, monkeypatch):
+        serial = run_spec("kvstore", "sc", 8, monkeypatch)
+        forked = run_spec("kvstore", "sc", 8, monkeypatch, shards=2,
+                          backend="process")
+        assert forked == serial
+
+    def test_faulty_run_is_identical_inproc(self, monkeypatch):
+        faults = FaultPlan(drop=0.02, delay=0.05, delay_cycles=40, seed=7)
+        serial = run_spec("kvstore", "lrc", 8, monkeypatch, faults=faults)
+        sharded = run_spec("kvstore", "lrc", 8, monkeypatch, shards=2,
+                           faults=faults)
+        assert sharded == serial
+
+    def test_shards_capped_at_n_procs(self, monkeypatch):
+        # REPRO_SHARDS beyond the node count degrades gracefully.
+        serial = run_spec("gauss", "sc", 4, monkeypatch)
+        assert run_spec("gauss", "sc", 4, monkeypatch, shards=16) == serial
+
+
+class TestShardWatchdog:
+    """Satellite: shard-aware stall detection (barrier-hook mode)."""
+
+    def _sharded_machine(self):
+        return Machine(bench_config(n_procs=4), protocol="lrc", shards=2,
+                       stall_cycles=0)
+
+    def test_barrier_heavy_run_does_not_trip(self, monkeypatch):
+        """A barrier-heavy workload spends many epochs with whole shards
+        idle at the barrier; a modest budget must not misread that."""
+        from repro.apps import APPS, AppContext
+
+        results = []
+        for shards, stall in ((1, 0), (2, 20_000)):
+            spec = ExperimentSpec("gauss", "lrc", n_procs=8, small=True,
+                                  classify=True)
+            mc = spec.machine_config(shards=shards).with_(stall_cycles=stall)
+            m = mc.build()
+            app = APPS["gauss"](AppContext.for_machine(m),
+                                **spec.app_params())
+            r = m.run([app.program(p) for p in range(8)])
+            results.append(json.dumps(r.to_dict(), sort_keys=True))
+        assert results[0] == results[1]  # and the watchdog never fired
+
+    def test_idle_shard_with_global_progress_does_not_trip(self):
+        """Shard 1 stays empty for the whole run while shard 0 commits
+        work: machine-wide progress must keep resetting the window."""
+        m = self._sharded_machine()
+        stop = 50_000
+
+        def tick():
+            m.stats.procs[0].reads += 1  # forward progress, shard 0 only
+            if m.sim.now < stop:
+                m.sim.at(m.sim.now + 100, tick)
+
+        m.sim.on_node(0)
+        m.sim.at(0, tick)
+        StallWatchdog(m, 1_000).arm()
+        m.sim.run()  # drains without a stall
+
+    def test_genuine_livelock_still_raises(self):
+        m = self._sharded_machine()
+
+        def tick():
+            m.sim.at(m.sim.now + 100, tick)  # busy, zero commits
+
+        m.sim.on_node(0)
+        m.sim.at(0, tick)
+        StallWatchdog(m, 1_000).arm()
+        with pytest.raises(SimulationStall) as ei:
+            m.sim.run()
+        assert ei.value.kind == "watchdog"
+        assert ei.value.cycle >= 1_000
+
+
+class TestDeterminism256:
+    """Satellite: 256-node seed-determinism regression.
+
+    shards=1 vs shards=4 must produce bit-identical RunResults with the
+    invariant checker on, for every protocol."""
+
+    @pytest.mark.parametrize(
+        "protocol", ["sc", "erc", "lrc", "lrc-ext", "tardis"]
+    )
+    def test_kvstore_256(self, protocol, monkeypatch):
+        serial = run_spec("kvstore", protocol, 256, monkeypatch, check=True)
+        sharded = run_spec("kvstore", protocol, 256, monkeypatch, shards=4,
+                           check=True)
+        assert sharded == serial
