@@ -78,6 +78,20 @@ from repro.stats.report import format_table
 from repro.trace import LEVELS, Tracer
 
 
+def _campaign_journal(store_root, kind: str, params: dict, resume: bool):
+    """The write-ahead journal for one CLI campaign.
+
+    Campaigns always journal (so any run can be resumed after a crash);
+    ``--resume`` decides whether existing outcomes are honored.  Without
+    it the journal is truncated first — a fresh run, not a continuation.
+    """
+    from repro.results.journal import CampaignJournal
+
+    if not resume:
+        CampaignJournal.for_campaign(store_root, kind, params).clear()
+    return CampaignJournal.for_campaign(store_root, kind, params)
+
+
 def _cmd_list(_args) -> int:
     print("applications:")
     for name in sorted(APPS):
@@ -87,13 +101,18 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    r = run_experiment(
+    from repro.harness.experiments import run_spec
+    from repro.harness.spec import ExperimentSpec
+
+    spec = ExperimentSpec(
         args.app,
         args.protocol,
         n_procs=args.procs,
         small=args.small,
         check_invariants=args.check_invariants,
+        faults=FaultPlan.parse(args.faults) if args.faults else None,
     )
+    r = run_spec(spec)
     s = r.summary()
     rows = [[k, v if not isinstance(v, float) else f"{v:.4f}"] for k, v in s.items()]
     print(format_table(["metric", "value"], rows,
@@ -148,11 +167,62 @@ def _cmd_figures(args) -> int:
     specs = all_artifact_specs(wanted, n_procs=n, small=small)
     if args.check_invariants:
         specs = [s.with_(check_invariants=True) for s in specs]
+
+    # Campaign journal (cells are spec fingerprints): a crashed sweep
+    # resumed with --resume re-reports journaled failures without
+    # re-running them, and journaled successes load straight from the
+    # store.  Cells that were in flight when the sweep died re-run.
+    journal = None
     failures = {}
+    todo = specs
+    if store is not None:
+        from repro.results.store import RunFailure
+
+        journal = _campaign_journal(
+            store.root, "figures",
+            {"artifacts": list(wanted), "procs": n, "small": small,
+             "check_invariants": bool(args.check_invariants)},
+            args.resume,
+        )
+        completed = journal.completed()
+        todo = []
+        for spec in specs:
+            entry = completed.get(spec.fingerprint())
+            if entry is not None and entry["op"] == "fail":
+                failures[spec] = RunFailure(
+                    kind=entry["data"]["kind"],
+                    message=entry["data"]["message"],
+                    traceback="",
+                    fingerprint=spec.fingerprint(),
+                    spec=spec.to_dict(),
+                )
+            else:
+                todo.append(spec)
+        if len(todo) < len(specs):
+            print(
+                f"repro figures: resume: {len(specs) - len(todo)} of "
+                f"{len(specs)} cells journaled as failed, skipping them",
+                file=sys.stderr,
+            )
+        for spec in todo:
+            if completed.get(spec.fingerprint()) is None:
+                journal.start(spec.fingerprint())
+
+    new_failures = {}
     prefetch(
-        specs, jobs=args.jobs, store=store, timeout=args.timeout,
-        on_failure="record", failures_out=failures,
+        todo, jobs=args.jobs, store=store, timeout=args.timeout,
+        on_failure="record", failures_out=new_failures,
     )
+    if journal is not None:
+        for spec in todo:
+            fp = spec.fingerprint()
+            entry = completed.get(fp)
+            if spec in new_failures:
+                f = new_failures[spec]
+                journal.fail(fp, f.kind, f.message)
+            elif entry is None or entry["op"] != "done":
+                journal.done(fp)
+    failures.update(new_failures)
     sim_elapsed = time.monotonic() - t0
     if failures:
         print(
@@ -262,6 +332,14 @@ def _cmd_fuzz(args) -> int:
         return replay_reproducer(args.replay, window=args.window, log=say)
     protocols = tuple(args.protocols)
     faults = FaultPlan.parse(args.faults) if args.faults else None
+    journal = _campaign_journal(
+        args.store_dir, "fuzz",
+        {"seed": args.seed, "iters": args.iters, "procs": args.procs,
+         "n_ops": args.n_ops, "protocols": list(protocols),
+         "mode": args.mode,
+         "faults": faults.to_dict() if faults else None},
+        args.resume,
+    )
     summary = fuzz_run(
         seed=args.seed,
         iters=args.iters,
@@ -274,6 +352,7 @@ def _cmd_fuzz(args) -> int:
         window=args.window,
         faults=faults,
         log=say,
+        journal=journal,
     )
     failures = summary["failures"]
     if faults is not None:
@@ -305,9 +384,24 @@ def _cmd_faults(args) -> int:
     say = lambda s: print(s, file=sys.stderr)
     protocols = tuple(args.protocols)
     base = FaultPlan.parse(args.faults) if args.faults else FaultPlan()
+    journal = _campaign_journal(
+        args.store_dir, "faults",
+        {"seed": args.seed, "iters": args.iters, "procs": args.procs,
+         "protocols": list(protocols), "rates": [float(r) for r in args.rates],
+         "faults": base.to_dict(), "apps": list(args.apps)},
+        args.resume,
+    )
+    completed = journal.completed()
     rows = []
     bad = 0
     for rate in args.rates:
+        cell = f"rate-{rate:g}"
+        entry = completed.get(cell)
+        if entry is not None and entry["op"] == "done":
+            say(f"rate {rate:g}: journaled, skipping")
+            bad += entry["data"]["n_fail"]
+            rows.append(entry["data"]["row"])
+            continue
         plan = FaultPlan.from_dict(
             {
                 **base.to_dict(),
@@ -318,6 +412,7 @@ def _cmd_faults(args) -> int:
             }
         )
         say(f"rate {rate:g}: fuzzing under [{plan.label()}] ...")
+        journal.start(cell)
         summary = fuzz_run(
             seed=args.seed,
             iters=args.iters,
@@ -331,17 +426,17 @@ def _cmd_faults(args) -> int:
         t = summary.get("traffic", {})
         n_fail = len(summary["failures"])
         bad += n_fail
-        rows.append(
-            [
-                f"{rate:g}",
-                n_fail,
-                t.get("retransmits", 0),
-                t.get("dup_drops", 0),
-                t.get("drops_injected", 0),
-                t.get("dups_injected", 0),
-                t.get("delays_injected", 0),
-            ]
-        )
+        row = [
+            f"{rate:g}",
+            n_fail,
+            t.get("retransmits", 0),
+            t.get("dup_drops", 0),
+            t.get("drops_injected", 0),
+            t.get("dups_injected", 0),
+            t.get("delays_injected", 0),
+        ]
+        journal.done(cell, {"row": row, "n_fail": n_fail})
+        rows.append(row)
     print(
         format_table(
             ["rate", "failures", "retransmits", "dup_drops",
@@ -355,7 +450,7 @@ def _cmd_faults(args) -> int:
         )
     )
     if args.apps:
-        bad += _faults_app_campaign(args, base, say)
+        bad += _faults_app_campaign(args, base, say, journal)
     if bad:
         print(f"faults: {bad} failure(s); rerun `repro fuzz --faults ...` "
               "at the failing rate to diagnose and minimize")
@@ -364,12 +459,13 @@ def _cmd_faults(args) -> int:
     return 0
 
 
-def _faults_app_campaign(args, base: FaultPlan, say) -> int:
+def _faults_app_campaign(args, base: FaultPlan, say, journal=None) -> int:
     """The ``faults --apps`` leg: each named app under each swept plan,
     across every protocol, with the invariant checker on."""
     from repro.harness.spec import ExperimentSpec
     from repro.scenarios.runner import RECOVERY_COUNTERS
 
+    completed = journal.completed() if journal is not None else {}
     rows = []
     bad = 0
     for rate in args.rates:
@@ -383,7 +479,16 @@ def _faults_app_campaign(args, base: FaultPlan, say) -> int:
             }
         )
         for app in args.apps:
+            cell = f"apps-{rate:g}-{app}"
+            entry = completed.get(cell)
+            if entry is not None and entry["op"] == "done":
+                say(f"rate {rate:g}: {app}: journaled, skipping")
+                bad += entry["data"]["n_fail"]
+                rows.append(entry["data"]["row"])
+                continue
             say(f"rate {rate:g}: {app} under [{plan.label()}] ...")
+            if journal is not None:
+                journal.start(cell)
             totals = dict.fromkeys(RECOVERY_COUNTERS, 0)
             n_fail = 0
             for proto in args.protocols:
@@ -400,8 +505,11 @@ def _faults_app_campaign(args, base: FaultPlan, say) -> int:
                 for name in RECOVERY_COUNTERS:
                     totals[name] += getattr(r.traffic, name, 0)
             bad += n_fail
-            rows.append([f"{rate:g}", app, n_fail,
-                         *[totals[name] for name in RECOVERY_COUNTERS]])
+            row = [f"{rate:g}", app, n_fail,
+                   *[totals[name] for name in RECOVERY_COUNTERS]]
+            if journal is not None:
+                journal.done(cell, {"row": row, "n_fail": n_fail})
+            rows.append(row)
     print(
         format_table(
             ["rate", "app", "failures", "retransmits", "dup_drops",
@@ -435,6 +543,15 @@ def _cmd_scenarios(args) -> int:
     for name in args.names:
         sc = load_scenario(name)
         say(f"scenario {sc.name}: {sc.description}")
+        journal = None
+        if store is not None:
+            journal = _campaign_journal(
+                store.root, "scenario",
+                {"scenario": sc.name, "protocols": list(args.protocols),
+                 "procs": args.procs,
+                 "check_invariants": bool(args.check_invariants)},
+                args.resume,
+            )
         summary = run_scenario(
             sc,
             protocols=args.protocols or None,
@@ -442,6 +559,7 @@ def _cmd_scenarios(args) -> int:
             check_invariants=args.check_invariants,
             store=store,
             progress=say,
+            journal=journal,
         )
         rows = []
         base_time = None
@@ -516,6 +634,13 @@ def main(argv=None) -> int:
     p_run.add_argument("--procs", type=int, default=16)
     p_run.add_argument("--small", action="store_true")
     p_run.add_argument("--check-invariants", action="store_true", help=check_help)
+    p_run.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="attach a fault plan (FaultPlan mini-language, e.g. "
+        "drop=0.02,seed=7); worker_kill=E:S;... schedules harness-level "
+        "chaos — SIGKILL shard S's worker at epoch E (process backend) — "
+        "without perturbing the simulated network",
+    )
     add_engine(p_run)
 
     p_cmp = sub.add_parser("compare", help="run one app under all protocols")
@@ -552,6 +677,14 @@ def main(argv=None) -> int:
         help="per-experiment timeout in seconds (one retry on expiry)",
     )
     p_fig.add_argument("--check-invariants", action="store_true", help=check_help)
+    resume_help = (
+        "continue an interrupted campaign from its write-ahead journal: "
+        "cells with a journaled outcome are skipped (their data reused "
+        "verbatim — artifacts come out bit-identical), cells that were "
+        "in flight re-run; without this flag the journal is truncated "
+        "and the campaign starts fresh"
+    )
+    p_fig.add_argument("--resume", action="store_true", help=resume_help)
     add_engine(p_fig)
 
     p_tr = sub.add_parser(
@@ -634,6 +767,12 @@ def main(argv=None) -> int:
         "the oracle comparison is unchanged — the reliable-delivery "
         "layer must recover transparently",
     )
+    p_fz.add_argument(
+        "--store-dir", default=DEFAULT_ROOT,
+        help="directory holding the campaign journal "
+        f"(default {DEFAULT_ROOT})",
+    )
+    p_fz.add_argument("--resume", action="store_true", help=resume_help)
     add_engine(p_fz)
 
     p_fl = sub.add_parser(
@@ -670,6 +809,12 @@ def main(argv=None) -> int:
         "checker on) under each swept fault plan, e.g. the service "
         "workloads kvstore taskqueue pubsub",
     )
+    p_fl.add_argument(
+        "--store-dir", default=DEFAULT_ROOT,
+        help="directory holding the campaign journal "
+        f"(default {DEFAULT_ROOT})",
+    )
+    p_fl.add_argument("--resume", action="store_true", help=resume_help)
     add_engine(p_fl)
 
     p_sc = sub.add_parser(
@@ -711,6 +856,7 @@ def main(argv=None) -> int:
         "--no-store", action="store_true",
         help="do not read or write the on-disk result store",
     )
+    p_sc_run.add_argument("--resume", action="store_true", help=resume_help)
     add_engine(p_sc_run)
 
     args = ap.parse_args(argv)

@@ -417,6 +417,11 @@ def _parallel_clean_scan(
     return seeds
 
 
+def _add_traffic(total: Dict[str, int], delta: Optional[Dict[str, int]]) -> None:
+    for key in TRAFFIC_KEYS:
+        total[key] = total.get(key, 0) + (delta or {}).get(key, 0)
+
+
 def fuzz_run(
     seed: int = 0,
     iters: int = 50,
@@ -429,6 +434,7 @@ def fuzz_run(
     window: int = 12,
     faults=None,
     log: Optional[Callable[[str], None]] = None,
+    journal=None,
 ) -> Dict:
     """The ``repro fuzz`` campaign: ``iters`` programs, each under every
     protocol.  Returns a summary dict; ``summary["failures"]`` is empty
@@ -438,6 +444,14 @@ def fuzz_run(
     string) subjects every run to seeded fault injection; the oracle
     comparison is unchanged, and ``summary["traffic"]`` reports the
     recovery counters (nonzero retransmits prove faults fired).
+
+    ``journal`` (a :class:`~repro.results.journal.CampaignJournal`)
+    makes the campaign resumable: every iteration's outcome is written
+    ahead under cell ``iter-<seed>``, and iterations already journaled
+    ``done`` are skipped on a later invocation with their failures and
+    traffic reused verbatim — the summary is bit-identical to an
+    uninterrupted run, because each iteration is a pure function of its
+    seed.
     """
     from repro.faults.plan import FaultPlan
 
@@ -445,8 +459,28 @@ def fuzz_run(
     faults = FaultPlan.coerce(faults)
     traffic: Dict[str, int] = {k: 0 for k in TRAFFIC_KEYS}
     seeds = [seed + i for i in range(iters)]
-    failures: List[FuzzFailure] = []
-    done = 0
+    failures: List[dict] = []
+
+    # Journaled outcomes from an interrupted earlier invocation: a plain
+    # per-iteration cell carries that iteration's failures and traffic; a
+    # ``scan-*`` chunk cell carries the aggregate traffic of one parallel
+    # clean scan (per-seed cells from a scan record traffic ``None``).
+    prior: Dict[int, dict] = {}
+    scan_traffic: Dict[str, int] = {k: 0 for k in TRAFFIC_KEYS}
+    if journal is not None:
+        for cell, entry in journal.completed().items():
+            if entry["op"] != "done":
+                continue
+            if cell.startswith("scan-"):
+                _add_traffic(scan_traffic, entry["data"].get("traffic"))
+            elif cell.startswith("iter-"):
+                prior[int(cell[len("iter-"):])] = entry["data"]
+        prior = {s: d for s, d in prior.items() if s in set(seeds)}
+        if prior:
+            say(f"resume: {len(prior)}/{iters} iterations journaled; "
+                f"running the remaining {iters - len(prior)}")
+    remaining = [s for s in seeds if s not in prior]
+    prior_failed = any(d["failures"] for d in prior.values())
 
     if jobs > 1:
         # Workers regenerate programs from the "fuzz" app preset, so the
@@ -459,27 +493,51 @@ def fuzz_run(
             say("non-default n_ops/mode: running sequentially")
             jobs = 1
 
-    if jobs > 1:
+    if jobs > 1 and remaining and not prior_failed:
         cleared = _parallel_clean_scan(
-            seeds, n_procs, protocols, jobs, faults=faults, traffic_out=traffic
+            remaining, n_procs, protocols, jobs, faults=faults,
+            traffic_out=traffic,
         )
         if cleared is not None:
-            say(f"{iters} iterations x {len(protocols)} protocols clean "
-                f"(parallel, {jobs} jobs)")
+            if journal is not None:
+                journal.done(
+                    f"scan-{remaining[0]}-{remaining[-1]}",
+                    {"seeds": list(cleared), "traffic": dict(traffic)},
+                )
+                for s in cleared:
+                    journal.done(f"iter-{s}", {"failures": [], "traffic": None})
+            _add_traffic(traffic, scan_traffic)
+            for data in prior.values():
+                _add_traffic(traffic, data.get("traffic"))
+            say(f"{len(remaining)} iterations x {len(protocols)} protocols "
+                f"clean (parallel, {jobs} jobs)")
             return {"iters": iters, "protocols": list(protocols),
                     "n_procs": n_procs, "failures": [], "traffic": traffic}
         say("parallel scan reported a failure; rerunning sequentially")
         traffic = {k: 0 for k in TRAFFIC_KEYS}
 
+    _add_traffic(traffic, scan_traffic)
     for i, it_seed in enumerate(seeds):
+        if it_seed in prior:
+            data = prior[it_seed]
+            failures.extend(data["failures"])
+            _add_traffic(traffic, data.get("traffic"))
+            continue
+        cell = f"iter-{it_seed}"
+        if journal is not None:
+            journal.start(cell)
+        it_traffic: Dict[str, int] = {k: 0 for k in TRAFFIC_KEYS}
         fs = fuzz_iteration(
             i, it_seed, n_procs, n_ops, protocols,
             mode=mode, do_minimize=do_minimize, window=window,
-            faults=faults, traffic_out=traffic,
+            faults=faults, traffic_out=it_traffic,
         )
-        done += 1
+        _add_traffic(traffic, it_traffic)
+        fs_dicts = [f.to_dict() for f in fs]
+        if journal is not None:
+            journal.done(cell, {"failures": fs_dicts, "traffic": it_traffic})
         if fs:
-            failures.extend(fs)
+            failures.extend(fs_dicts)
             for f in fs:
                 mini = f.minimized
                 say(
@@ -497,7 +555,7 @@ def fuzz_run(
         "iters": iters,
         "protocols": list(protocols),
         "n_procs": n_procs,
-        "failures": [f.to_dict() for f in failures],
+        "failures": failures,
         "traffic": traffic,
     }
 

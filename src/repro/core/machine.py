@@ -166,6 +166,7 @@ class Machine:
             )
         else:
             self.sim = Simulator(max_cycles=max_cycles)
+        self.sim.machine = self
         # ``faults`` accepts a FaultPlan, a plan dict, or the CLI string
         # form.  Only an *active* plan swaps in the reliable fabric; an
         # inert (zero-rate) plan keeps the plain fabric, so its runs are
@@ -198,6 +199,9 @@ class Machine:
             self.nodes.append(node)
         self._finished = 0
         self._ran = False
+        # Structured record of process-backend crash recovery (kills /
+        # respawns / fallback), populated by engine.shard_proc.
+        self.shard_recovery = None
         self.tracer = None
         self.checker = None
         self.valmodel = None
@@ -299,11 +303,35 @@ class Machine:
 
             StallWatchdog(self, self.stall_cycles).arm()
         if self.shards > 1 and self.shard_backend == "process":
-            from repro.engine.shard_proc import run_forked
+            from repro.engine.shard_proc import UnsupportedBackend, run_forked
 
-            run_forked(self)
+            try:
+                run_forked(self)
+            except UnsupportedBackend as exc:
+                # Auto-fallback, never a silent semantic change: the
+                # in-process backend is bit-identical, just slower, and
+                # the warning names the observer that forced it.
+                import logging
+
+                logging.getLogger("repro.engine.shard_proc").warning(
+                    "process shard backend unsupported (%s: %s); "
+                    "falling back to the in-process backend",
+                    exc.observer, exc,
+                )
+                self.shard_backend = "inproc"
+                self.sim.run()
         else:
             self.sim.run()
+        return self._finish()
+
+    def _finish(self) -> RunResult:
+        """Post-loop tail: deadlock check, observer finalization, result.
+
+        Shared by the normal run path and :meth:`resume` — a restored
+        machine re-enters the event loop and then needs exactly this
+        tail to produce a :class:`RunResult` comparable bit-for-bit with
+        an uninterrupted run's.
+        """
         if self._finished != self.config.n_procs:
             stuck = [
                 (n.id, n.proc.block_reason, n.out_count, len(n.wb or ()))
@@ -325,3 +353,37 @@ class Machine:
             traffic=self.fabric.stats,
             classifier=self.classifier,
         )
+
+    # -- checkpoint / restore / resume (DESIGN.md §15) ---------------------------
+
+    def snapshot(self):
+        """Serialize this machine's full deterministic state.
+
+        Take it at a quiescent point: between events, or from the
+        sharded engine's ``barrier_hook``.  Returns a verified
+        :class:`~repro.engine.checkpoint.Checkpoint`; raises
+        :class:`~repro.engine.checkpoint.CheckpointUnsupported` for
+        generator-engine machines (live generators are unpicklable).
+        """
+        from repro.engine.checkpoint import snapshot_machine
+
+        return snapshot_machine(self)
+
+    @classmethod
+    def restore(cls, checkpoint) -> "Machine":
+        """Rebuild a machine from a checkpoint (verifying its checksum)
+        with transient hooks re-armed; pair with :meth:`resume`."""
+        from repro.engine.checkpoint import restore_machine
+
+        return restore_machine(checkpoint)
+
+    def resume(self) -> RunResult:
+        """Run a restored machine to completion.
+
+        Drains the remaining events on the in-process path (serial queue
+        or the sharded windowed loop — restored machines never re-fork)
+        and produces a :class:`RunResult` bit-identical to what the
+        uninterrupted run would have returned.
+        """
+        self.sim.run()
+        return self._finish()

@@ -87,7 +87,7 @@ class LazyDirectory:
             # still send this writer a real (invalidating) notice.
             if reader not in e.writers:
                 e.state = WEAK
-                notices = [w for w in e.writers if w not in e.notified]
+                notices = [w for w in sorted(e.writers) if w not in e.notified]
         # WEAK stays WEAK.
         e.sharers.add(reader)
         # The reader must invalidate at its next acquire only if the block
@@ -120,7 +120,7 @@ class LazyDirectory:
             others = e.sharers - {writer}
             if others:
                 e.state = WEAK
-                notices = [s for s in others if s not in e.notified]
+                notices = [s for s in sorted(others) if s not in e.notified]
                 e.notified.update(notices)
             else:
                 e.state = DIRTY
@@ -128,12 +128,16 @@ class LazyDirectory:
             if writer not in e.writers:
                 e.state = WEAK
                 notices = [
-                    s for s in e.sharers if s != writer and s not in e.notified
+                    s
+                    for s in sorted(e.sharers)
+                    if s != writer and s not in e.notified
                 ]
                 e.notified.update(notices)
         else:  # WEAK
             notices = [
-                s for s in e.sharers if s != writer and s not in e.notified
+                s
+                for s in sorted(e.sharers)
+                if s != writer and s not in e.notified
             ]
             e.notified.update(notices)
         e.sharers.add(writer)

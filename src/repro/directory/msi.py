@@ -104,7 +104,7 @@ class MSIDirectory:
                 forward_to=owner,
                 await_acks=True,
             )
-        invalidate = [s for s in e.sharers if s != writer]
+        invalidate = [s for s in sorted(e.sharers) if s != writer]
         e.state = DIRTY
         e.owner = writer
         e.sharers = {writer}

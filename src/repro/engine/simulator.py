@@ -27,7 +27,14 @@ class DeadlockError(RuntimeError):
 class Simulator:
     """Event loop with a monotonically non-decreasing global clock."""
 
-    __slots__ = ("queue", "now", "max_cycles", "events_processed", "post_event_hook")
+    __slots__ = (
+        "queue",
+        "now",
+        "max_cycles",
+        "events_processed",
+        "post_event_hook",
+        "machine",
+    )
 
     def __init__(self, max_cycles: int = 1 << 62) -> None:
         self.queue = EventQueue()
@@ -37,6 +44,10 @@ class Simulator:
         # set before run() (e.g. per-event invariant checking).
         self.events_processed: int = 0
         self.post_event_hook = None
+        # Back-reference to the owning Machine (set by Machine.__init__);
+        # snapshot() needs the whole object graph, and events reference
+        # it anyway through their callbacks.
+        self.machine = None
 
     def on_node(self, node_id: int) -> None:
         """Scheduling-affinity hint: subsequent events belong to
@@ -88,6 +99,33 @@ class Simulator:
         serial simulator has a single queue and ignores it.
         """
         self.queue.push_remote(time, src, src_seq, callback, args)
+
+    # -- checkpointing (engine.checkpoint; DESIGN.md §15) ------------------------
+
+    def snapshot(self):
+        """Checkpoint the owning machine's full state at this quiescent
+        point; returns a verified :class:`~repro.engine.checkpoint.Checkpoint`.
+
+        Event callbacks reference the machine graph, so a simulator is
+        only checkpointable as part of its machine.  Call between events
+        (serial) or from ``barrier_hook`` (sharded).
+        """
+        from repro.engine.checkpoint import CheckpointError, snapshot_machine
+
+        if self.machine is None:
+            raise CheckpointError(
+                "this simulator has no owning Machine; snapshot whole "
+                "machines (Machine.snapshot), not bare simulators"
+            )
+        return snapshot_machine(self.machine)
+
+    @staticmethod
+    def restore(checkpoint) -> "Simulator":
+        """Rebuild the checkpointed machine; returns its simulator
+        (``sim.machine`` reaches the rest)."""
+        from repro.engine.checkpoint import restore_machine
+
+        return restore_machine(checkpoint).sim
 
     def run(self) -> int:
         """Drain the event queue; return the final simulated time."""

@@ -36,11 +36,16 @@ Progress is logged on the ``repro.runner`` logger.
 
 from __future__ import annotations
 
+import atexit
 import logging
 import multiprocessing as mp
 import os
+import random
+import signal
 import tempfile
+import threading
 import time
+import weakref
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -59,6 +64,72 @@ FAILURE_EXIT = 3
 
 #: Grace period between terminate() and SIGKILL, seconds.
 _KILL_GRACE = 5.0
+
+#: Base delay of the jittered exponential backoff between retries of a
+#: crashed/timed-out job, seconds (doubled per attempt, capped below).
+RETRY_BACKOFF_BASE = 0.25
+
+#: Ceiling on the retry backoff delay, seconds.
+RETRY_BACKOFF_CAP = 5.0
+
+
+def retry_delay(attempts: int, rng=random) -> float:
+    """Jittered exponential backoff before retry number ``attempts``.
+
+    A worker that crashed from a transient cause (OOM kill under
+    memory pressure, a timeout on a loaded box) is *more* likely to
+    crash again immediately; backing off — with jitter, so a whole
+    pool's retries don't re-land in lockstep — gives the machine room.
+    """
+    base = min(RETRY_BACKOFF_CAP, RETRY_BACKOFF_BASE * (2 ** max(0, attempts - 1)))
+    return base * (0.5 + rng.random())
+
+
+# -- orphan reaping -----------------------------------------------------------
+#
+# Worker processes are daemonic, which covers a *clean* interpreter
+# exit; a parent killed by SIGTERM (CI cancellation, a batch scheduler's
+# preemption) would still strand CPU-burning orphans.  Every launched
+# worker is registered here, and a process-wide atexit + SIGTERM hook
+# reaps whatever is still alive.
+
+_ORPHANS: "weakref.WeakSet" = weakref.WeakSet()
+_REAPER_LOCK = threading.Lock()
+_REAPER_INSTALLED = False
+
+
+def _reap_orphans(*_args) -> None:
+    for proc in list(_ORPHANS):
+        try:
+            _kill(proc)
+        except Exception:
+            pass
+
+
+def _install_reaper() -> None:
+    """Idempotently install the atexit/SIGTERM orphan reaper."""
+    global _REAPER_INSTALLED
+    with _REAPER_LOCK:
+        if _REAPER_INSTALLED:
+            return
+        _REAPER_INSTALLED = True
+    atexit.register(_reap_orphans)
+    try:
+        prev = signal.getsignal(signal.SIGTERM)
+
+        def _on_term(signum, frame):
+            _reap_orphans()
+            if callable(prev) and prev not in (signal.SIG_IGN, signal.SIG_DFL):
+                prev(signum, frame)
+            else:
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        signal.signal(signal.SIGTERM, _on_term)
+    except (ValueError, OSError):
+        # Not the main thread (or an embedded interpreter): the atexit
+        # hook still covers normal termination.
+        pass
 
 
 class ExperimentError(RuntimeError):
@@ -241,11 +312,12 @@ def _supervise(
     failures_out: Optional[Dict[ExperimentSpec, RunFailure]],
 ) -> Dict[ExperimentSpec, RunResult]:
     ctx = _pool_context()
+    _install_reaper()
     total = len(specs)
     results: Dict[ExperimentSpec, RunResult] = {}
 
     # Warm entries never cost a worker.
-    pending: deque = deque()  # (spec, attempts_so_far)
+    pending: deque = deque()  # (spec, attempts_so_far, not_before)
     done = 0
     for spec in specs:
         hit = store.load(spec)
@@ -254,7 +326,7 @@ def _supervise(
             done += 1
             logger.info("[%d/%d] %s (store hit)", done, total, spec.label())
         else:
-            pending.append((spec, 0))
+            pending.append((spec, 0, 0.0))
 
     running: Dict[mp.process.BaseProcess, tuple] = {}  # proc -> (spec, attempts, t0)
 
@@ -263,16 +335,28 @@ def _supervise(
             target=_worker, args=(spec.to_dict(), str(store.root)), daemon=True
         )
         proc.start()
+        _ORPHANS.add(proc)
         running[proc] = (spec, attempts, time.monotonic())
 
     def _teardown() -> None:
         for proc in running:
             _kill(proc)
+            _ORPHANS.discard(proc)
 
     try:
         while pending or running:
+            # Launch every pending job whose backoff delay (retries
+            # only; fresh jobs are immediately ready) has elapsed.
             while pending and len(running) < jobs:
-                spec, attempts = pending.popleft()
+                now = time.monotonic()
+                idx = next(
+                    (i for i, (_, _, nb) in enumerate(pending) if nb <= now),
+                    None,
+                )
+                if idx is None:
+                    break
+                spec, attempts, _nb = pending[idx]
+                del pending[idx]
                 _launch(spec, attempts)
             time.sleep(_POLL)
             for proc in list(running):
@@ -297,6 +381,7 @@ def _supervise(
                         result = store.load(spec)
                         if result is not None:
                             del running[proc]
+                            _ORPHANS.discard(proc)
                             results[spec] = result
                             done += 1
                             logger.info(
@@ -330,17 +415,19 @@ def _supervise(
                             spec=spec.to_dict(),
                         )
                 del running[proc]
+                _ORPHANS.discard(proc)
                 # Structured failures are deterministic — the same spec
                 # would stall/violate identically — so retrying only
                 # burns a worker.  Crashes and timeouts get the retry.
                 retryable = failure.kind in ("timeout", "crash", "no-result")
                 if retryable and attempts < retries:
+                    delay = retry_delay(attempts + 1)
                     logger.warning(
-                        "%s: %s: %s; retrying (%d/%d)",
+                        "%s: %s: %s; retrying (%d/%d) in %.2fs",
                         spec.label(), failure.kind, failure.message,
-                        attempts + 1, retries,
+                        attempts + 1, retries, delay,
                     )
-                    pending.append((spec, attempts + 1))
+                    pending.append((spec, attempts + 1, time.monotonic() + delay))
                 else:
                     done += 1
                     _handle_failure(

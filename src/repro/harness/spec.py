@@ -26,7 +26,11 @@ from repro.faults.plan import FaultPlan
 #: then no longer collide with results computed under the old meaning).
 #: 2: canonical event ordering (two-lane queue, arrival-ordered receive
 #: NICs, logged classifier) shifted simulated numbers slightly.
-SPEC_VERSION = 2
+#: 3: canonical sorted write-notice/invalidation send order — sharer and
+#: writer sets now notify in node-id order so a checkpointed machine
+#: resumes bit-identically (set iteration order does not survive a
+#: pickle rebuild); shifted simulated numbers slightly.
+SPEC_VERSION = 3
 
 MACHINE_KINDS = ("default", "future")
 
@@ -198,6 +202,19 @@ class ExperimentSpec:
         # overrides fingerprints as it did before ``params`` existed.
         if d.get("faults") is None:
             d.pop("faults", None)
+        else:
+            # Harness-level chaos (worker_kill) perturbs the scheduler's
+            # workers, never the simulated numbers — recovery is
+            # bit-identical — so it must not split the result cache.  A
+            # plan that was *only* chaos (the stripped residue is the
+            # default, inert plan) fingerprints as no faults at all.
+            d["faults"] = {
+                k: v for k, v in d["faults"].items() if k != "worker_kill"
+            }
+            from repro.faults.plan import FaultPlan
+
+            if d["faults"] == FaultPlan().to_dict():
+                d.pop("faults")
         if not d.get("params"):
             d.pop("params", None)
         canon = json.dumps(

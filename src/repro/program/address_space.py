@@ -57,6 +57,29 @@ class Segment:
         return f"Segment({self.name!r}, base={self.base:#x}, size={self.size})"
 
 
+class BlockHomeLookup:
+    """Picklable ``block -> home node id`` map (hot-path callable).
+
+    Holds the *live* ``page_home`` list by reference — it grows as the
+    space allocates — plus the constant block→page shift.
+    """
+
+    __slots__ = ("page_home", "shift")
+
+    def __init__(self, page_home: List[int], shift: int) -> None:
+        self.page_home = page_home
+        self.shift = shift
+
+    def __call__(self, block: int) -> int:
+        return self.page_home[block >> self.shift]
+
+    def __getstate__(self):
+        return (self.page_home, self.shift)
+
+    def __setstate__(self, state):
+        self.page_home, self.shift = state
+
+
 class AddressSpace:
     """Bump allocator plus the page -> home-node map."""
 
@@ -122,14 +145,13 @@ class AddressSpace:
     def build_block_home_lookup(self):
         """Return a fast ``block -> home`` callable for the hot path.
 
-        Captures the page map in a closure with locals bound, avoiding
-        attribute lookups per miss.
+        A :class:`BlockHomeLookup` value object rather than a closure:
+        the callable is reachable from every protocol object, so it must
+        be *picklable* for machine checkpoints (DESIGN.md §15).  It
+        shares ``page_home`` by reference, so allocations made after the
+        lookup was built are still visible through it.
         """
-        page_home = self.page_home
-        shift = self._page_shift - self._line_shift
-        def lookup(block: int) -> int:
-            return page_home[block >> shift]
-        return lookup
+        return BlockHomeLookup(self.page_home, self._page_shift - self._line_shift)
 
     @property
     def bytes_allocated(self) -> int:

@@ -20,9 +20,17 @@ Each file holds a schema-versioned envelope::
     {
       "schema": 1,
       "fingerprint": "<spec.fingerprint()>",
+      "checksum": "<sha256 of the canonical content JSON>",
       "spec": {...ExperimentSpec.to_dict()...},   # for humans / debugging
       "result": {...RunResult.to_dict()...}
     }
+
+``checksum`` is a content integrity check over the payload (the result,
+failure, or artifact dict): a file corrupted *after* its atomic write —
+truncated by a crashed filesystem, bit-flipped on disk — reads as a
+miss with a logged warning rather than silently feeding a figure wrong
+numbers.  Envelopes written before the field existed verify as intact
+(there is nothing to check against), so old stores stay warm.
 
 Invalidation rule: a stored entry is used only when *both* its schema
 version matches :data:`SCHEMA_VERSION` *and* its filename fingerprint
@@ -40,6 +48,7 @@ last-writer-wins is harmless because results are deterministic.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
@@ -73,6 +82,46 @@ FAILURE_SUFFIX = ".fail.json"
 #: process; anything older than this was left behind by a crash between
 #: ``mkstemp`` and ``os.replace``.
 TMP_SWEEP_AGE = 300.0
+
+def _content_checksum(content) -> str:
+    """SHA-256 over the canonical JSON of a payload dict."""
+    canon = json.dumps(content, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _verify_checksum(payload: dict, key: str, path) -> bool:
+    """True when ``payload[key]`` matches the envelope's checksum.
+
+    Envelopes without a checksum (written before the field existed)
+    verify trivially; a mismatch is logged, never raised — the store is
+    a cache and a corrupt entry is just a miss.
+    """
+    recorded = payload.get("checksum")
+    if recorded is None:
+        return True
+    actual = _content_checksum(payload.get(key))
+    if actual != recorded:
+        log.warning(
+            "%s failed its content checksum (recorded %s..., actual "
+            "%s...); treating it as missing", path, recorded[:12], actual[:12],
+        )
+        return False
+    return True
+
+
+def _failure_body(payload: dict, path) -> Optional[dict]:
+    """The failure dict inside an envelope, or None if corrupt.
+
+    Failure envelopes come in two generations: the original flat layout
+    (the failure's own fields spread at top level, no checksum) and the
+    current ``{"schema": ..., "checksum": ..., "failure": {...}}`` one.
+    """
+    if "failure" in payload:
+        if not _verify_checksum(payload, "failure", path):
+            return None
+        return payload["failure"]
+    return payload
+
 
 #: Exception class name -> stable failure kind.  Anything unlisted is
 #: recorded under its own class name, so no failure is ever anonymous.
@@ -196,13 +245,15 @@ class ResultStore:
 
         A success supersedes any earlier failure record for the spec.
         """
+        d = result.to_dict()
         final = self._atomic_write(
             self.path_for(spec),
             {
                 "schema": SCHEMA_VERSION,
                 "fingerprint": spec.fingerprint(),
+                "checksum": _content_checksum(d),
                 "spec": spec.to_dict(),
-                "result": result.to_dict(),
+                "result": d,
             },
         )
         try:
@@ -225,6 +276,8 @@ class ResultStore:
                 return None
             if payload["fingerprint"] != spec.fingerprint():
                 return None
+            if not _verify_checksum(payload, "result", path):
+                return None
             return RunResult.from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
             return None
@@ -236,9 +289,14 @@ class ResultStore:
 
     def save_failure(self, spec: ExperimentSpec, failure: RunFailure) -> Path:
         """Atomically persist one failure record; returns the file written."""
+        d = failure.to_dict()
         return self._atomic_write(
             self.failure_path_for(spec),
-            {"schema": SCHEMA_VERSION, **failure.to_dict()},
+            {
+                "schema": SCHEMA_VERSION,
+                "checksum": _content_checksum(d),
+                "failure": d,
+            },
         )
 
     def load_failure(self, spec: ExperimentSpec) -> Optional[RunFailure]:
@@ -247,15 +305,17 @@ class ResultStore:
         Same tolerance as :meth:`load`: absent, wrong-schema, or corrupt
         records read as None, never as errors.
         """
+        path = self.failure_path_for(spec)
         try:
-            with open(self.failure_path_for(spec)) as f:
+            with open(path) as f:
                 payload = json.load(f)
         except (OSError, json.JSONDecodeError):
             return None
         try:
             if payload["schema"] != SCHEMA_VERSION:
                 return None
-            return RunFailure.from_dict(payload)
+            d = _failure_body(payload, path)
+            return RunFailure.from_dict(d) if d is not None else None
         except (KeyError, TypeError, ValueError):
             return None
 
@@ -269,7 +329,9 @@ class ResultStore:
                 with open(path) as f:
                     payload = json.load(f)
                 if payload.get("schema") == SCHEMA_VERSION:
-                    out.append(RunFailure.from_dict(payload))
+                    d = _failure_body(payload, path)
+                    if d is not None:
+                        out.append(RunFailure.from_dict(d))
             except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
                 # A half-written or corrupt record is a skip, not an
                 # error — but a silent skip hides evidence, so say so.
@@ -293,18 +355,26 @@ class ResultStore:
         """
         return self._atomic_write(
             self.artifact_path_for(name),
-            {"schema": SCHEMA_VERSION, "name": name, "artifact": payload},
+            {
+                "schema": SCHEMA_VERSION,
+                "name": name,
+                "checksum": _content_checksum(payload),
+                "artifact": payload,
+            },
         )
 
     def load_artifact(self, name: str) -> Optional[dict]:
         """The stored artifact payload for ``name``, or None on any miss."""
+        path = self.artifact_path_for(name)
         try:
-            with open(self.artifact_path_for(name)) as f:
+            with open(path) as f:
                 payload = json.load(f)
         except (OSError, json.JSONDecodeError):
             return None
         try:
             if payload["schema"] != SCHEMA_VERSION:
+                return None
+            if not _verify_checksum(payload, "artifact", path):
                 return None
             return payload["artifact"]
         except (KeyError, TypeError):

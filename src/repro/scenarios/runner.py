@@ -63,6 +63,7 @@ def run_scenario(
     store=_UNSET,
     engine: Optional[str] = None,
     progress=None,
+    journal=None,
 ) -> Dict[str, Any]:
     """Run one scenario; return (and persist) its summary artifact.
 
@@ -74,6 +75,13 @@ def run_scenario(
     :class:`~repro.results.store.RunFailure` in the store and marked
     ``ok: False`` in the summary — the rest of the sweep still runs,
     matching how fault campaigns behave.
+
+    ``journal`` (a :class:`~repro.results.journal.CampaignJournal`)
+    makes the sweep resumable: each protocol cell's summary row is
+    written ahead, and cells already journaled are skipped on a later
+    invocation with the journaled row reused verbatim — cells are
+    deterministic, so the rebuilt artifact is bit-identical to an
+    uninterrupted run's.
     """
     from repro.harness.experiments import run_spec
     from repro.results.store import RunFailure, default_store
@@ -81,13 +89,22 @@ def run_scenario(
     if store is _UNSET:
         store = default_store()
     protos = scenario.protocol_list(protocols)
+    completed = journal.completed() if journal is not None else {}
     cells: Dict[str, Any] = {}
     for proto in protos:
+        entry = completed.get(proto)
+        if entry is not None and entry["op"] == "done":
+            cells[proto] = entry["data"]
+            if progress is not None:
+                progress(f"  {scenario.name}: {proto}: journaled, skipping")
+            continue
         spec = scenario.spec_for(
             proto, n_procs=n_procs, check_invariants=check_invariants
         )
         if progress is not None:
             progress(f"  {scenario.name}: {spec.label()}")
+        if journal is not None:
+            journal.start(proto)
         try:
             result = run_spec(spec, store=store, engine=engine)
         except Exception as exc:  # record, keep sweeping
@@ -100,10 +117,14 @@ def run_scenario(
                 "message": failure.message,
                 "fingerprint": spec.fingerprint(),
             }
+            if journal is not None:
+                journal.done(proto, cells[proto])
             continue
         row = summarize_result(result)
         row["fingerprint"] = spec.fingerprint()
         cells[proto] = row
+        if journal is not None:
+            journal.done(proto, row)
     summary = {
         "scenario": scenario.to_dict(),
         "n_procs": n_procs if n_procs is not None else scenario.n_procs,

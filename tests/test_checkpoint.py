@@ -1,0 +1,175 @@
+"""Checkpoint/restore tests (DESIGN.md §15).
+
+The core guarantee under test: a machine snapshotted at a quiescent
+point and restored resumes **bit-identically** — same cycle counts,
+traffic, and classifier output as the uninterrupted run — with the
+invariant checker on and a phase-scripted fault plan active.  Plus the
+envelope: versioned, checksummed, atomic on disk, loud about corruption.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.machine import Machine
+from repro.engine.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    CheckpointUnsupported,
+    restore_machine,
+    snapshot_machine,
+    snapshot_path,
+)
+from repro.faults.plan import FaultPhase, FaultPlan
+from repro.harness.presets import APP_PRESETS_SMALL, bench_config
+from repro.program.stream import recorded_stream
+from repro.protocols import all_names
+
+#: A plan with base rates *and* a scripted outage window, so restored
+#: runs must reproduce the injector's PRNG stream and phase boundaries.
+PHASED = FaultPlan(
+    drop=0.01,
+    dup=0.01,
+    seed=5,
+    phases=(FaultPhase(start=2000, end=9000, drop=0.04, delay=0.03),),
+)
+
+
+def _stream(cfg):
+    return recorded_stream("kvstore", APP_PRESETS_SMALL["kvstore"], cfg)
+
+
+def _machine(cfg, protocol, faults=None, shards=2):
+    return Machine(
+        cfg,
+        protocol=protocol,
+        shards=shards,
+        check_invariants=True,
+        faults=faults,
+        stall_cycles=0,
+    )
+
+
+#: Uninterrupted reference results, keyed by (protocol, faulted) — each
+#: hypothesis example needs the same reference, so run it once.
+_REF = {}
+
+
+def _reference(cfg, protocol, faults):
+    key = (protocol, faults is not None)
+    if key not in _REF:
+        _REF[key] = _machine(cfg, protocol, faults).replay(_stream(cfg)).to_dict()
+    return _REF[key]
+
+
+class TestBitIdentity:
+    """Tentpole: ``restore(snapshot(m))`` resumes bit-identically."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        protocol=st.sampled_from(sorted(all_names())),
+        epoch=st.integers(min_value=1, max_value=12),
+        faulted=st.booleans(),
+    )
+    def test_sharded_restore_is_bit_identical(self, protocol, epoch, faulted):
+        faults = PHASED if faulted else None
+        cfg = bench_config(n_procs=8)
+        ref = _reference(cfg, protocol, faults)
+
+        m = _machine(cfg, protocol, faults)
+        taken = {}
+
+        def hook(_t):
+            taken["epochs"] = taken.get("epochs", 0) + 1
+            if taken["epochs"] == epoch and "ckpt" not in taken:
+                taken["ckpt"] = m.snapshot()
+
+        m.sim.barrier_hook = hook
+        # Taking a snapshot must never perturb the running machine.
+        assert m.replay(_stream(cfg)).to_dict() == ref
+        if "ckpt" not in taken:
+            return  # the run finished in fewer epochs than the draw
+        resumed = Machine.restore(taken["ckpt"]).resume().to_dict()
+        assert resumed == ref
+
+    def test_serial_restore_is_bit_identical(self):
+        cfg = bench_config(n_procs=4)
+        ref = Machine(cfg, protocol="lrc").replay(_stream(cfg)).to_dict()
+        m = Machine(cfg, protocol="lrc")
+        taken = {}
+        m.sim.at(5000, lambda: taken.setdefault("ckpt", m.snapshot()))
+        assert m.replay(_stream(cfg)).to_dict() == ref
+        ckpt = taken["ckpt"]
+        assert ckpt.epoch == -1 and ckpt.now == 5000
+        assert Machine.restore(ckpt).resume().to_dict() == ref
+
+    def test_restore_round_trips_through_disk(self, tmp_path):
+        cfg = bench_config(n_procs=4)
+        ref = Machine(cfg, protocol="sc").replay(_stream(cfg)).to_dict()
+        m = Machine(cfg, protocol="sc")
+        taken = {}
+        m.sim.at(5000, lambda: taken.setdefault("ckpt", m.snapshot()))
+        m.replay(_stream(cfg))
+        path = taken["ckpt"].save(snapshot_path(tmp_path, "mid"))
+        assert Machine.restore(Checkpoint.load(path)).resume().to_dict() == ref
+
+
+class TestEnvelope:
+    """Checkpoint files are versioned, checksummed, and loud when bad."""
+
+    def _fresh_checkpoint(self):
+        return snapshot_machine(Machine(bench_config(n_procs=4), protocol="sc"))
+
+    def test_file_roundtrip(self, tmp_path):
+        cp = self._fresh_checkpoint()
+        path = cp.save(snapshot_path(tmp_path, "seed"))
+        back = Checkpoint.load(path)
+        assert back == cp
+        assert back.version == CHECKPOINT_VERSION
+        assert restore_machine(back).config.n_procs == 4
+
+    def test_corrupt_payload_is_refused(self, tmp_path):
+        path = self._fresh_checkpoint().save(snapshot_path(tmp_path, "c"))
+        raw = bytearray(path.read_bytes())
+        i = raw.index(b"\n") + 10  # a payload byte, past the header
+        raw[i] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            Checkpoint.load(path)
+
+    def test_truncated_file_is_refused(self, tmp_path):
+        path = self._fresh_checkpoint().save(snapshot_path(tmp_path, "t"))
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(CheckpointError, match="truncated"):
+            Checkpoint.load(path)
+
+    def test_non_checkpoint_file_is_refused(self, tmp_path):
+        path = tmp_path / "nope.ckpt"
+        path.write_bytes(b'{"magic":"something-else"}\n')
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            Checkpoint.load(path)
+        path.write_bytes(b"\x00\x01 not json\n")
+        with pytest.raises(CheckpointError, match="header"):
+            Checkpoint.load(path)
+
+    def test_missing_file_is_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint.load(tmp_path / "absent.ckpt")
+
+
+class TestUnsupported:
+    def test_generator_engine_machine_is_refused(self):
+        m = Machine(bench_config(n_procs=4), protocol="sc")
+
+        def program():
+            yield ("read", 0)
+
+        m.nodes[0].proc.set_program(program())
+        with pytest.raises(CheckpointUnsupported, match="generator"):
+            snapshot_machine(m)
+
+    def test_snapshot_requires_a_machine_backref(self):
+        from repro.engine.simulator import Simulator
+
+        with pytest.raises(CheckpointError, match="machine"):
+            Simulator().snapshot()

@@ -172,3 +172,27 @@ def test_fuzz_no_minimize_skips_minimization(tmp_path, capsys, monkeypatch):
     capsys.readouterr()
     report = json.loads(out_file.read_text())
     assert report["failures"][0]["minimized"] is None
+
+
+def test_fuzz_resume_skips_journaled_iterations(tmp_path, capsys):
+    store = str(tmp_path / "rs")
+    base = ["fuzz", "--seed", "0", "--iters", "3", "--procs", "4",
+            "--n-ops", "30", "--protocols", "lrc", "--store-dir", store]
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    assert "all clean" in first
+    assert main(base + ["--resume"]) == 0
+    resumed = capsys.readouterr()
+    assert "3/3 iterations journaled" in resumed.err
+    assert "all clean" in resumed.out
+
+
+def test_scenarios_resume_reuses_journal(tmp_path, capsys):
+    store = str(tmp_path / "rs")
+    base = ["scenarios", "run", "baseline_perfect", "--procs", "4",
+            "--protocols", "sc", "lrc", "--store-dir", store]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(base + ["--resume"]) == 0
+    resumed = capsys.readouterr()
+    assert resumed.err.count("journaled, skipping") == 2

@@ -260,3 +260,29 @@ class TestStructuredFailures:
 
         with pytest.raises(SimulationStall):
             run_serial([self.LIVELOCKED])
+
+
+class TestRetryBackoff:
+    def test_delay_is_bounded_and_jittered(self):
+        import random
+
+        from repro.harness.runner import (
+            RETRY_BACKOFF_BASE,
+            RETRY_BACKOFF_CAP,
+            retry_delay,
+        )
+
+        rng = random.Random(7)
+        for attempt in range(1, 10):
+            d = retry_delay(attempt, rng=rng)
+            ceiling = min(RETRY_BACKOFF_CAP, RETRY_BACKOFF_BASE * 2 ** (attempt - 1))
+            assert 0.5 * ceiling <= d <= 1.5 * ceiling
+        # Deep attempts saturate at the cap, never grow unbounded.
+        assert retry_delay(50, rng=rng) <= 1.5 * RETRY_BACKOFF_CAP
+
+    def test_reaper_installs_once(self):
+        from repro.harness import runner
+
+        runner._install_reaper()
+        runner._install_reaper()
+        assert runner._REAPER_INSTALLED

@@ -135,20 +135,47 @@ class TestShardPlumbing:
             Machine(bench_config(n_procs=4), shards=2, value_model=True)
 
     def test_process_backend_rejects_reliable_fabric(self):
-        from repro.engine.shard_proc import run_forked
+        from repro.engine.shard_proc import UnsupportedBackend, run_forked
 
         m = Machine(bench_config(n_procs=4), shards=2,
                     shard_backend="process", faults=FaultPlan(drop=0.1))
-        with pytest.raises(ValueError, match="plain fabric"):
+        with pytest.raises(UnsupportedBackend, match="plain fabric") as ei:
             run_forked(m)
+        assert ei.value.observer == "faults"
+        assert isinstance(ei.value, ValueError)  # back-compat contract
 
     def test_process_backend_rejects_observers(self):
-        from repro.engine.shard_proc import run_forked
+        from repro.engine.shard_proc import UnsupportedBackend, run_forked
 
         m = Machine(bench_config(n_procs=4), shards=2,
                     shard_backend="process", check_invariants=True)
-        with pytest.raises(ValueError, match="in-process backend"):
+        with pytest.raises(UnsupportedBackend, match="in-process backend") as ei:
             run_forked(m)
+        assert ei.value.observer == "checker"
+
+    def test_machine_falls_back_to_inproc_with_a_warning(self, caplog):
+        """An unsupported observer demotes the backend loudly, never
+        silently: the run completes on inproc and the warning names it."""
+        import logging
+
+        m = Machine(bench_config(n_procs=4), protocol="lrc", shards=2,
+                    shard_backend="process", check_invariants=True)
+        ref = Machine(bench_config(n_procs=4), protocol="lrc", shards=2,
+                      check_invariants=True)
+        from repro.apps import APPS, AppContext
+        from repro.harness.presets import APP_PRESETS_SMALL
+
+        def run(machine):
+            app = APPS["kvstore"](AppContext.for_machine(machine),
+                                  **APP_PRESETS_SMALL["kvstore"])
+            return machine.run([app.program(p) for p in range(4)])
+
+        with caplog.at_level(logging.WARNING, logger="repro.engine.shard_proc"):
+            r = run(m)
+        assert m.shard_backend == "inproc"
+        assert any("checker" in rec.getMessage() for rec in caplog.records)
+        assert json.dumps(r.to_dict(), sort_keys=True) == \
+            json.dumps(run(ref).to_dict(), sort_keys=True)
 
 
 class TestShardedBitIdentity:
@@ -257,3 +284,61 @@ class TestDeterminism256:
         sharded = run_spec("kvstore", protocol, 256, monkeypatch, shards=4,
                            check=True)
         assert sharded == serial
+
+
+class TestSelfHealing:
+    """Tentpole (DESIGN.md §15): the process backend survives worker
+    crashes — respawn from checkpoint + journal replay — bit-identically,
+    and falls back to inproc when the respawn budget runs out."""
+
+    def _run(self, monkeypatch, plan=None, backend=None, respawns=None,
+             ckpt_epochs=None):
+        from repro.harness.presets import APP_PRESETS_SMALL
+        from repro.program.stream import recorded_stream
+
+        monkeypatch.delenv("REPRO_SHARD_CKPT_EPOCHS", raising=False)
+        monkeypatch.delenv("REPRO_SHARD_RESPAWNS", raising=False)
+        if ckpt_epochs is not None:
+            monkeypatch.setenv("REPRO_SHARD_CKPT_EPOCHS", str(ckpt_epochs))
+        if respawns is not None:
+            monkeypatch.setenv("REPRO_SHARD_RESPAWNS", str(respawns))
+        cfg = bench_config(n_procs=8)
+        m = Machine(cfg, protocol="sc", shards=2, stall_cycles=0,
+                    faults=plan, **({"shard_backend": backend} if backend else {}))
+        stream = recorded_stream("kvstore", APP_PRESETS_SMALL["kvstore"], cfg)
+        return m, json.dumps(m.replay(stream).to_dict(), sort_keys=True)
+
+    def test_worker_kill_plan_stays_inert(self):
+        # Harness-level chaos must not pull in the reliable fabric (the
+        # process backend requires the plain one) or change fingerprints.
+        plan = FaultPlan(worker_kill=((3, 0),))
+        assert not plan.active
+        spec = ExperimentSpec(app="kvstore", protocol="sc", n_procs=8,
+                              small=True, faults=plan)
+        bare = ExperimentSpec(app="kvstore", protocol="sc", n_procs=8,
+                              small=True)
+        assert spec.fingerprint() == bare.fingerprint()
+
+    def test_chaos_kill_recovers_bit_identical(self, monkeypatch):
+        _, ref = self._run(monkeypatch)
+        plan = FaultPlan(worker_kill=((3, 0), (6, 1)))
+        m, out = self._run(monkeypatch, plan=plan, backend="process",
+                           ckpt_epochs=4)
+        assert out == ref
+        rec = m.shard_recovery
+        assert rec["kills"] == 2
+        assert rec["respawns"] >= 2
+        assert rec["fallback"] is False
+
+    def test_exhausted_respawn_budget_falls_back(self, monkeypatch, caplog):
+        import logging
+
+        _, ref = self._run(monkeypatch)
+        plan = FaultPlan(worker_kill=((3, 0),))
+        with caplog.at_level(logging.WARNING, logger="repro.engine.shard_proc"):
+            m, out = self._run(monkeypatch, plan=plan, backend="process",
+                               respawns=0)
+        assert out == ref
+        assert m.shard_recovery["fallback"] is True
+        assert any("falling back" in rec.getMessage()
+                   for rec in caplog.records)

@@ -75,12 +75,12 @@ class TestFingerprint:
     def test_pinned_values(self):
         # Pinned: silent fingerprint drift would orphan every stored
         # result.  A deliberate change must bump SPEC_VERSION.
-        assert SPEC_VERSION == 2
+        assert SPEC_VERSION == 3
         s = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
-        assert s.fingerprint() == "ea13c35fdc2002806721eaf5"
+        assert s.fingerprint() == "de8f70eba74e2ded53ead757"
         o = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True,
                            overrides={"line_size": 64})
-        assert o.fingerprint() == "bea986efdae1870f5df806c7"
+        assert o.fingerprint() == "449d7ac385ec01df322fc34f"
 
     def test_equal_specs_equal_fingerprints(self):
         a = ExperimentSpec("fft", "erc", overrides={"mem_bw": 4.0})

@@ -252,3 +252,64 @@ class TestRunFailureRecords:
         store.save_failure(self.SPEC, self._failure())
         assert store.clear() == 1
         assert store.failures() == []
+
+
+class TestContentChecksums:
+    """Stored JSON carries a content checksum, verified on every load
+    (DESIGN.md §15): silent bit-rot reads as a miss, never as data."""
+
+    SPEC = ExperimentSpec("mp3d", "lrc", n_procs=4, small=True)
+
+    def _tamper(self, path, key, mutate):
+        """Edit the envelope's payload without touching its checksum."""
+        payload = json.loads(path.read_text())
+        mutate(payload[key])
+        path.write_text(json.dumps(payload))
+
+    def test_tampered_result_reads_as_none(self, tmp_path, plain_result, caplog):
+        import logging
+
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        path = store.save(spec, r)
+        assert store.load(spec) is not None
+        self._tamper(path, "result", lambda d: d.__setitem__("exec_time", 1))
+        with caplog.at_level(logging.WARNING, logger="repro.results.store"):
+            assert store.load(spec) is None
+        assert any("content checksum" in rec.getMessage()
+                   for rec in caplog.records)
+
+    def test_tampered_failure_reads_as_none(self, tmp_path):
+        store = ResultStore(tmp_path / "rs")
+        f = RunFailure.from_exception(self.SPEC, ValueError("boom"))
+        path = store.save_failure(self.SPEC, f)
+        assert store.load_failure(self.SPEC) == f
+        self._tamper(path, "failure", lambda d: d.__setitem__("message", "benign"))
+        assert store.load_failure(self.SPEC) is None
+        assert store.failures() == []
+
+    def test_tampered_artifact_reads_as_none(self, tmp_path):
+        store = ResultStore(tmp_path / "rs")
+        path = store.save_artifact("scenario-x", {"rows": [1, 2, 3]})
+        assert store.load_artifact("scenario-x") == {"rows": [1, 2, 3]}
+        self._tamper(path, "artifact", lambda d: d.__setitem__("rows", []))
+        assert store.load_artifact("scenario-x") is None
+
+    def test_envelopes_without_checksum_still_load(self, tmp_path, plain_result):
+        # Files written before the checksum field existed verify trivially.
+        spec, r = plain_result
+        store = ResultStore(tmp_path / "rs")
+        path = store.save(spec, r)
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        assert store.load(spec) is not None
+
+    def test_legacy_flat_failure_record_still_loads(self, tmp_path):
+        # Old layout: failure fields flat in the envelope, no checksum.
+        store = ResultStore(tmp_path / "rs")
+        f = RunFailure.from_exception(self.SPEC, ValueError("boom"))
+        path = store.failure_path_for(self.SPEC)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION, **f.to_dict()}))
+        assert store.load_failure(self.SPEC) == f
